@@ -1,0 +1,79 @@
+// Command capc drives the CapC toolchain: it compiles a component program
+// and can show the Fig. 2 pipeline stages (source, pre-processed source,
+// post-processed assembly) or run the program on a chosen machine.
+//
+// Usage:
+//
+//	capc -pre file.capc         # Fig. 2(b): pre-processed listing
+//	capc -S file.capc           # Fig. 2(c): generated assembly
+//	capc -run -arch somt file.capc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+)
+
+func main() {
+	pre := flag.Bool("pre", false, "print the pre-processed (coworker->switch) listing")
+	asmOut := flag.Bool("S", false, "print the generated assembly")
+	run := flag.Bool("run", false, "run the program")
+	arch := flag.String("arch", "somt", "somt|smt|superscalar (with -run)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: capc [-pre] [-S] [-run -arch X] file.capc")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail("%v", err)
+	}
+	b, err := core.BuildCapC(flag.Arg(0), string(src))
+	if err != nil {
+		fail("%v", err)
+	}
+	if *pre {
+		fmt.Println("// pre-processed (Fig. 2(b) stage)")
+		fmt.Print(b.Compiled.PreProcessed)
+	}
+	if *asmOut {
+		fmt.Println("# post-processed assembly (Fig. 2(c) stage)")
+		fmt.Print(b.Compiled.Asm)
+	}
+	if *run {
+		var cfg cpu.Config
+		switch *arch {
+		case "somt":
+			cfg = cpu.SOMTConfig()
+		case "smt":
+			cfg = cpu.SMTConfig()
+		case "superscalar":
+			cfg = cpu.SuperscalarConfig()
+		default:
+			fail("unknown arch %q", *arch)
+		}
+		res, err := core.RunTiming(b.Program, cfg)
+		if err != nil {
+			fail("%v", err)
+		}
+		for _, v := range res.UserOutput() {
+			fmt.Println(v)
+		}
+		s := res.Stats
+		fmt.Fprintf(os.Stderr, "cycles=%d insts=%d ipc=%.2f divisions=%d/%d\n",
+			s.Cycles, s.Insts, s.IPC(), s.DivGranted, s.DivRequested)
+	}
+	if !*pre && !*asmOut && !*run {
+		fmt.Fprintln(os.Stderr, "compiled OK (use -pre, -S or -run)")
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "capc: "+format+"\n", args...)
+	os.Exit(1)
+}

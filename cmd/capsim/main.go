@@ -1,0 +1,99 @@
+// Command capsim runs one workload data set on one machine and prints the
+// run's cycle count and CAPSULE statistics.
+//
+// Usage:
+//
+//	capsim -workload dijkstra -arch somt -n 200 -seed 7
+//	capsim -workload quicksort -arch superscalar
+//	capsim -workload lzw -arch somt -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/workloads"
+)
+
+func main() {
+	workload := flag.String("workload", "dijkstra", "dijkstra|quicksort|lzw|perceptron|mcf|vpr|bzip2|crafty")
+	arch := flag.String("arch", "somt", "somt|smt|smt-static|superscalar")
+	n := flag.Int("n", 200, "input size (nodes/elements/chars/neurons)")
+	seed := flag.Int64("seed", 1, "input seed")
+	stats := flag.Bool("stats", false, "print full statistics")
+	flag.Parse()
+
+	var cfg cpu.Config
+	variant := workloads.VariantComponent
+	switch *arch {
+	case "somt":
+		cfg = cpu.SOMTConfig()
+	case "smt":
+		cfg = cpu.SMTConfig()
+	case "smt-static":
+		cfg = cpu.SMTStaticConfig()
+	case "superscalar":
+		cfg = cpu.SuperscalarConfig()
+		variant = workloads.VariantImperative
+	default:
+		fail("unknown arch %q", *arch)
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	var res *core.RunResult
+	var err error
+	switch *workload {
+	case "dijkstra":
+		res, err = workloads.RunDijkstra(workloads.GenGraph(rng, *n, 4, 9), variant, cfg)
+	case "quicksort":
+		res, err = workloads.RunQuickSort(workloads.GenList(rng, workloads.ListUniform, *n), variant, cfg)
+	case "lzw":
+		res, err = workloads.RunLZW(workloads.GenLZW(rng, *n), variant, cfg)
+	case "perceptron":
+		res, err = workloads.RunPerceptron(workloads.GenPerceptron(rng, *n, 3, 1), variant, cfg)
+	case "mcf":
+		res, err = workloads.RunMCF(workloads.GenMCF(rng, *n, *n/4+16, 2), variant, cfg)
+	case "bzip2":
+		res, err = workloads.RunBzip2(workloads.GenBzip2(rng, *n, 3), variant, cfg)
+	case "crafty":
+		res, err = workloads.RunCrafty(workloads.GenCrafty(rng, 4, 8, 7), variant, cfg)
+	case "vpr":
+		side := 12
+		var vres *workloads.VPRResult
+		vres, err = workloads.RunVPR(workloads.GenVPR(rng, side, side, 4, 10), variant, cfg)
+		if err == nil {
+			res = vres.Run
+			fmt.Printf("iterations: %d (converged=%v)\n", vres.Iterations, vres.Converged)
+		}
+	default:
+		fail("unknown workload %q", *workload)
+	}
+	if err != nil {
+		fail("%v", err)
+	}
+
+	s := res.Stats
+	fmt.Printf("workload=%s arch=%s n=%d seed=%d\n", *workload, *arch, *n, *seed)
+	fmt.Printf("cycles=%d insts=%d ipc=%.2f\n", s.Cycles, s.Insts, s.IPC())
+	fmt.Printf("divisions: requested=%d allowed=%d (%.0f%%) deaths=%d\n",
+		s.DivRequested, s.DivGranted, 100*s.DivGrantRate(), s.Deaths)
+	if *stats {
+		fmt.Printf("throttle denies=%d no-ctx denies=%d\n", s.ThrottleDenies, s.NoCtxDenies)
+		fmt.Printf("swaps out=%d in=%d rescues=%d max stack=%d\n", s.SwapsOut, s.SwapsIn, s.Rescues, s.MaxStackDepth)
+		fmt.Printf("locks: acquires=%d stall-cycles=%d\n", s.LockAcquires, s.LockStallCycles)
+		fmt.Printf("branches: %.1f%% accuracy, %d mispredicts\n", 100*s.BranchStats.Accuracy(), s.MispredictedBranches)
+		fmt.Printf("caches: L1I %.1f%% miss, L1D %.1f%% miss, L2 %.1f%% miss\n",
+			100*s.L1I.MissRate(), 100*s.L1D.MissRate(), 100*s.L2.MissRate())
+		fmt.Printf("occupancy: avg active contexts %.2f, peak live workers %d, total workers %d\n",
+			s.AvgActiveContexts(), s.PeakLiveThreads, s.TotalThreads)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "capsim: "+format+"\n", args...)
+	os.Exit(1)
+}

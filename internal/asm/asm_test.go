@@ -1,0 +1,380 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+func mustAssemble(t *testing.T, src string) *prog.Program {
+	t.Helper()
+	p, err := Assemble(Unit{Name: "test.s", Text: src})
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p
+}
+
+func run(t *testing.T, src string, maxThreads int) *emu.Machine {
+	t.Helper()
+	p := mustAssemble(t, src)
+	m := emu.NewMachine(p, maxThreads)
+	if err := m.Run(10_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return m
+}
+
+func TestBasicArithmetic(t *testing.T) {
+	m := run(t, `
+main:
+	li a0, 6
+	li a1, 7
+	mul a2, a0, a1
+	print a2
+	halt
+`, 1)
+	if len(m.Output) != 1 || m.Output[0] != 42 {
+		t.Fatalf("output = %v", m.Output)
+	}
+}
+
+func TestLargeImmediates(t *testing.T) {
+	m := run(t, `
+main:
+	li a0, 0x70000000
+	print a0
+	li a1, -1000000
+	print a1
+	li a2, 123456789012345
+	print a2
+	halt
+`, 1)
+	want := []int64{0x70000000, -1000000, 123456789012345}
+	for i, w := range want {
+		if m.Output[i] != w {
+			t.Fatalf("output[%d] = %d; want %d", i, m.Output[i], w)
+		}
+	}
+}
+
+func TestDataSectionAndLA(t *testing.T) {
+	m := run(t, `
+.data
+tbl:
+	.word 10, 20, 30
+msg:
+	.asciiz "ok"
+.text
+main:
+	la a0, tbl
+	ld a1, 8(a0)
+	print a1
+	la a2, msg
+	lb a3, 1(a2)
+	print a3
+	halt
+`, 1)
+	if m.Output[0] != 20 {
+		t.Fatalf("word load got %d", m.Output[0])
+	}
+	if m.Output[1] != int64('k') {
+		t.Fatalf("byte load got %d", m.Output[1])
+	}
+}
+
+func TestWordSymbolReference(t *testing.T) {
+	m := run(t, `
+.data
+ptr:
+	.word target
+target:
+	.word 77
+.text
+main:
+	la a0, ptr
+	ld a1, 0(a0)   # a1 = &target
+	ld a2, 0(a1)
+	print a2
+	halt
+`, 1)
+	if m.Output[0] != 77 {
+		t.Fatalf("got %v", m.Output)
+	}
+}
+
+func TestControlFlowLoop(t *testing.T) {
+	m := run(t, `
+main:
+	li a0, 0      # sum
+	li a1, 1      # i
+	li a2, 10
+loop:
+	add a0, a0, a1
+	addi a1, a1, 1
+	ble a1, a2, loop
+	print a0
+	halt
+`, 1)
+	if m.Output[0] != 55 {
+		t.Fatalf("sum = %v", m.Output)
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	m := run(t, `
+main:
+	li a0, 5
+	call double
+	print a0
+	halt
+double:
+	add a0, a0, a0
+	ret
+`, 1)
+	if m.Output[0] != 10 {
+		t.Fatalf("got %v", m.Output)
+	}
+}
+
+func TestStackDiscipline(t *testing.T) {
+	m := run(t, `
+main:
+	li a0, 3
+	call fact
+	print a0
+	halt
+fact:                 # recursive factorial using the stack
+	addi sp, sp, -16
+	sd ra, 0(sp)
+	sd a0, 8(sp)
+	li t0, 2
+	blt a0, t0, base
+	addi a0, a0, -1
+	call fact
+	ld t1, 8(sp)
+	mul a0, a0, t1
+	j out
+base:
+	li a0, 1
+out:
+	ld ra, 0(sp)
+	addi sp, sp, 16
+	ret
+`, 1)
+	if m.Output[0] != 6 {
+		t.Fatalf("3! = %v", m.Output)
+	}
+}
+
+func TestFloatOps(t *testing.T) {
+	m := run(t, `
+.data
+x:
+	.float 2.0
+.text
+main:
+	la a0, x
+	fld f1, 0(a0)
+	fsqrt f2, f1
+	fmul f3, f2, f2
+	fcvt.l.d a1, f3
+	print a1
+	halt
+`, 1)
+	if m.Output[0] != 2 {
+		t.Fatalf("sqrt(2)^2 trunc = %v", m.Output)
+	}
+}
+
+func TestDivisionAndKthr(t *testing.T) {
+	// Parent divides; both increment a locked counter; parent joins.
+	m := run(t, `
+.data
+counter:
+	.word 0
+.text
+main:
+	nthr t0
+	li t1, -1
+	beq t0, t1, seq      # denied: run the work twice sequentially
+	bnez t0, child
+	# parent (t0 == 0)
+	call bump
+	join
+	la a0, counter
+	ld a1, 0(a0)
+	print a1
+	halt
+child:
+	call bump
+	kthr
+seq:
+	call bump
+	call bump
+	la a0, counter
+	ld a1, 0(a0)
+	print a1
+	halt
+bump:
+	la t2, counter
+	mlock t2
+	ld t3, 0(t2)
+	addi t3, t3, 1
+	sd t3, 0(t2)
+	munlock t2
+	ret
+`, 4)
+	if m.Output[0] != 2 {
+		t.Fatalf("counter = %v", m.Output)
+	}
+	if m.DivGranted != 1 {
+		t.Fatalf("granted = %d", m.DivGranted)
+	}
+}
+
+func TestDivisionDeniedPath(t *testing.T) {
+	// maxThreads 1: division always denied; sequential fallback runs.
+	m := run(t, `
+.data
+counter:
+	.word 0
+.text
+main:
+	nthr t0
+	li t1, -1
+	beq t0, t1, seq
+	halt                 # unreachable under maxThreads=1
+seq:
+	li a1, 99
+	print a1
+	halt
+`, 1)
+	if len(m.Output) != 1 || m.Output[0] != 99 {
+		t.Fatalf("output = %v", m.Output)
+	}
+	if m.DivDenied != 1 {
+		t.Fatalf("denied = %d", m.DivDenied)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []string{
+		"main:\n\tbogus a0, a1\n",
+		"main:\n\tadd a0, a1\n",     // wrong arity
+		"main:\n\tadd a0, a1, f2\n", // fp reg in int slot
+		"main:\n\tj nowhere\n",      // undefined label
+		".data\nx:\n\t.word 1\n",    // no text entry
+		"main:\nmain:\n\thalt\n",    // duplicate label
+		".text\n\t.word 5\n",        // data directive in text
+		"main:\n\tld a0, 8[sp]\n",   // bad mem operand
+		"main:\n\t.bogusdir\n",      // unknown directive
+	}
+	for _, src := range cases {
+		if _, err := Assemble(Unit{Name: "bad.s", Text: src}); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestMultiUnitLinking(t *testing.T) {
+	lib := Unit{Name: "lib.s", Text: `
+triple:
+	li t0, 3
+	mul a0, a0, t0
+	ret
+.data
+libdata:
+	.word 5
+`}
+	mainU := Unit{Name: "main.s", Text: `
+_start:
+	la a0, libdata
+	ld a0, 0(a0)
+	call triple
+	print a0
+	halt
+`}
+	p, err := Assemble(lib, mainU)
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	if p.Entry == 0 {
+		// _start is after lib's code, so entry must be nonzero.
+		t.Fatal("entry should point at _start, not 0")
+	}
+	m := emu.NewMachine(p, 1)
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if m.Output[0] != 15 {
+		t.Fatalf("got %v", m.Output)
+	}
+}
+
+func TestCommentsAndLabelsOnSameLine(t *testing.T) {
+	m := run(t, `
+# leading comment
+main:	li a0, 1   # trailing comment
+	print a0       // c++ style
+	halt
+`, 1)
+	if m.Output[0] != 1 {
+		t.Fatalf("got %v", m.Output)
+	}
+}
+
+func TestDisassembleContainsSymbols(t *testing.T) {
+	p := mustAssemble(t, `
+main:
+	li a0, 1
+	halt
+`)
+	d := p.Disassemble(0, len(p.Insts))
+	if !strings.Contains(d, "main:") {
+		t.Fatalf("disassembly missing label:\n%s", d)
+	}
+	if !strings.Contains(d, "halt") {
+		t.Fatalf("disassembly missing halt:\n%s", d)
+	}
+}
+
+func TestPseudoExpansions(t *testing.T) {
+	p := mustAssemble(t, `
+main:
+	mv a0, a1
+	neg a2, a3
+	not a4, a5
+	ret
+`)
+	wantOps := []isa.Op{isa.OpAddi, isa.OpSub, isa.OpXori, isa.OpJalr}
+	for i, w := range wantOps {
+		if p.Insts[i].Op != w {
+			t.Fatalf("inst %d = %v; want %v", i, p.Insts[i].Op, w)
+		}
+	}
+}
+
+func TestAlignDirective(t *testing.T) {
+	p := mustAssemble(t, `
+.data
+a:
+	.byte 1
+	.align 8
+b:
+	.word 2
+.text
+main:
+	halt
+`)
+	bAddr, err := p.DataAddr("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bAddr%8 != 0 {
+		t.Fatalf("b not aligned: %#x", bAddr)
+	}
+}

@@ -1,0 +1,211 @@
+package capc
+
+// The CapC abstract syntax tree. Every value is a 64-bit word; arrays are
+// word-addressed regions named by globals; floating point is reached through
+// intrinsics operating on raw float64 bit patterns.
+
+// File is a parsed compilation unit.
+type File struct {
+	Name    string
+	Consts  []*ConstDecl
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}
+
+// ConstDecl is `const NAME = <const expr>;`.
+type ConstDecl struct {
+	Name  string
+	Value int64
+	Line  int
+}
+
+// GlobalDecl is `var name;`, `var name = k;` or `var name[k];`.
+type GlobalDecl struct {
+	Name  string
+	Init  int64
+	Words int  // 1 for scalars
+	Array bool // arrays denote their address when named
+	Line  int
+}
+
+// FuncDecl is a `func` or `worker` definition.
+type FuncDecl struct {
+	Name   string
+	Params []string
+	Body   *BlockStmt
+	Worker bool
+	Line   int
+
+	// Filled by sema: the number of local slots (params + vars).
+	numLocals int
+}
+
+// Stmt is any statement node.
+type Stmt interface{ stmtNode() }
+
+// BlockStmt is `{ ... }`.
+type BlockStmt struct {
+	Stmts []Stmt
+	Line  int
+}
+
+// VarStmt declares (and optionally initialises) a local.
+type VarStmt struct {
+	Name string
+	Init Expr // may be nil
+	Line int
+
+	slot int // assigned by sema
+}
+
+// AssignStmt is `lvalue = expr;` where lvalue is an identifier, an index
+// expression or a dereference.
+type AssignStmt struct {
+	LHS  Expr
+	RHS  Expr
+	Line int
+}
+
+// ExprStmt evaluates an expression for its side effects (typically a call).
+type ExprStmt struct {
+	X    Expr
+	Line int
+}
+
+// IfStmt is `if (cond) stmt [else stmt]`.
+type IfStmt struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+	Line int
+}
+
+// WhileStmt is `while (cond) stmt`.
+type WhileStmt struct {
+	Cond Expr
+	Body Stmt
+	Line int
+}
+
+// ForStmt is `for (init; cond; post) stmt`; any clause may be nil.
+type ForStmt struct {
+	Init Stmt // AssignStmt or ExprStmt
+	Cond Expr
+	Post Stmt
+	Body Stmt
+	Line int
+}
+
+// ReturnStmt is `return [expr];`.
+type ReturnStmt struct {
+	X    Expr // may be nil
+	Line int
+}
+
+// BreakStmt / ContinueStmt.
+type BreakStmt struct{ Line int }
+type ContinueStmt struct{ Line int }
+
+// LockStmt / UnlockStmt wrap the mlock/munlock instructions.
+type LockStmt struct {
+	Addr   Expr
+	Unlock bool
+	Line   int
+}
+
+// CoworkerStmt is the paper's conditional division construct:
+//
+//	coworker f(args);            // sequential call if the probe fails
+//	coworker f(args) else { S }  // custom probe-failure branch
+//
+// The pre-processor expands it to a switch over nthr (see Fig. 2).
+type CoworkerStmt struct {
+	Callee string
+	Args   []Expr
+	Else   *BlockStmt // nil = implicit sequential call
+	Line   int
+
+	fn *FuncDecl // resolved by sema
+}
+
+func (*BlockStmt) stmtNode()    {}
+func (*VarStmt) stmtNode()      {}
+func (*AssignStmt) stmtNode()   {}
+func (*ExprStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*LockStmt) stmtNode()     {}
+func (*CoworkerStmt) stmtNode() {}
+
+// Expr is any expression node.
+type Expr interface{ exprNode() }
+
+// NumExpr is an integer (or char) literal.
+type NumExpr struct {
+	Val  int64
+	Line int
+}
+
+// IdentExpr names a local, global, or constant.
+type IdentExpr struct {
+	Name string
+	Line int
+
+	// Resolution, filled by sema.
+	kind  identKind
+	slot  int    // locals
+	value int64  // consts
+	sym   string // globals: assembly symbol
+}
+
+type identKind uint8
+
+const (
+	identUnresolved identKind = iota
+	identLocal
+	identGlobalScalar
+	identGlobalArray // value of the expression is the array's address
+	identConst
+)
+
+// UnaryExpr is -x, !x, ~x, *x (deref) or &g (address of global scalar).
+type UnaryExpr struct {
+	Op   tokKind // tokMinus, tokBang, tokTilde, tokStar, tokAmp
+	X    Expr
+	Line int
+}
+
+// BinaryExpr covers arithmetic, comparison, bitwise and logical operators.
+type BinaryExpr struct {
+	Op   tokKind
+	X, Y Expr
+	Line int
+}
+
+// IndexExpr is `base[idx]`: the word at base + 8*idx.
+type IndexExpr struct {
+	Base Expr
+	Idx  Expr
+	Line int
+}
+
+// CallExpr calls a function or builtin.
+type CallExpr struct {
+	Callee string
+	Args   []Expr
+	Line   int
+
+	fn      *FuncDecl // resolved user function (nil for builtins)
+	builtin *builtin  // resolved builtin (nil for user functions)
+}
+
+func (*NumExpr) exprNode()    {}
+func (*IdentExpr) exprNode()  {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+func (*IndexExpr) exprNode()  {}
+func (*CallExpr) exprNode()   {}

@@ -1,0 +1,663 @@
+package capc
+
+import "fmt"
+
+// parser is a recursive-descent parser for CapC with one token of lookahead.
+type parser struct {
+	lx   *lexer
+	tok  token
+	file string
+
+	// pendingConsts accumulates const values during parsing so later
+	// consts and array sizes can reference earlier ones.
+	pendingConsts map[string]int64
+}
+
+// Parse parses a CapC compilation unit.
+func Parse(file, src string) (*File, error) {
+	p := &parser{lx: newLexer(file, src), file: file}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	f := &File{Name: file}
+	for p.tok.kind != tokEOF {
+		switch p.tok.kind {
+		case tokConst:
+			d, err := p.constDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Consts = append(f.Consts, d)
+		case tokVar:
+			d, err := p.globalDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Globals = append(f.Globals, d)
+		case tokFunc, tokWorker:
+			d, err := p.funcDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Funcs = append(f.Funcs, d)
+		default:
+			return nil, p.errf("expected declaration, got %v", p.tok.kind)
+		}
+	}
+	return f, nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("%s:%d: %s", p.file, p.tok.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) advance() error {
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expect(k tokKind) (token, error) {
+	if p.tok.kind != k {
+		return token{}, p.errf("expected %v, got %v", k, p.tok.kind)
+	}
+	t := p.tok
+	if err := p.advance(); err != nil {
+		return token{}, err
+	}
+	return t, nil
+}
+
+func (p *parser) accept(k tokKind) (bool, error) {
+	if p.tok.kind != k {
+		return false, nil
+	}
+	return true, p.advance()
+}
+
+// constExpr evaluates a compile-time constant expression. consts may
+// reference earlier consts in the same file (resolved via the env).
+func (p *parser) constExpr(env map[string]int64) (int64, error) {
+	return p.constBinary(env, 0)
+}
+
+var constPrec = map[tokKind]int{
+	tokPipe: 1, tokCaret: 2, tokAmp: 3,
+	tokShl: 4, tokShr: 4,
+	tokPlus: 5, tokMinus: 5,
+	tokStar: 6, tokSlash: 6, tokPercent: 6,
+}
+
+func (p *parser) constBinary(env map[string]int64, minPrec int) (int64, error) {
+	lhs, err := p.constUnary(env)
+	if err != nil {
+		return 0, err
+	}
+	for {
+		prec, ok := constPrec[p.tok.kind]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		op := p.tok.kind
+		if err := p.advance(); err != nil {
+			return 0, err
+		}
+		rhs, err := p.constBinary(env, prec+1)
+		if err != nil {
+			return 0, err
+		}
+		switch op {
+		case tokPlus:
+			lhs += rhs
+		case tokMinus:
+			lhs -= rhs
+		case tokStar:
+			lhs *= rhs
+		case tokSlash:
+			if rhs == 0 {
+				return 0, p.errf("constant division by zero")
+			}
+			lhs /= rhs
+		case tokPercent:
+			if rhs == 0 {
+				return 0, p.errf("constant modulo by zero")
+			}
+			lhs %= rhs
+		case tokShl:
+			lhs <<= uint64(rhs) & 63
+		case tokShr:
+			lhs >>= uint64(rhs) & 63
+		case tokPipe:
+			lhs |= rhs
+		case tokCaret:
+			lhs ^= rhs
+		case tokAmp:
+			lhs &= rhs
+		}
+	}
+}
+
+func (p *parser) constUnary(env map[string]int64) (int64, error) {
+	switch p.tok.kind {
+	case tokMinus:
+		if err := p.advance(); err != nil {
+			return 0, err
+		}
+		v, err := p.constUnary(env)
+		return -v, err
+	case tokNumber, tokChar:
+		v := p.tok.val
+		return v, p.advance()
+	case tokIdent:
+		v, ok := env[p.tok.text]
+		if !ok {
+			return 0, p.errf("unknown constant %q", p.tok.text)
+		}
+		return v, p.advance()
+	case tokLParen:
+		if err := p.advance(); err != nil {
+			return 0, err
+		}
+		v, err := p.constBinary(env, 0)
+		if err != nil {
+			return 0, err
+		}
+		_, err = p.expect(tokRParen)
+		return v, err
+	}
+	return 0, p.errf("bad constant expression at %v", p.tok.kind)
+}
+
+func (p *parser) constDecl() (*ConstDecl, error) {
+	line := p.tok.line
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokAssign); err != nil {
+		return nil, err
+	}
+	// Allow references to previously declared consts in this unit. The
+	// caller threads them through a fresh env per declaration.
+	v, err := p.constExpr(p.pendingConsts)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return nil, err
+	}
+	d := &ConstDecl{Name: name.text, Value: v, Line: line}
+	if p.pendingConsts == nil {
+		p.pendingConsts = make(map[string]int64)
+	}
+	p.pendingConsts[name.text] = v
+	return d, nil
+}
+
+func (p *parser) globalDecl() (*GlobalDecl, error) {
+	line := p.tok.line
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	d := &GlobalDecl{Name: name.text, Words: 1, Line: line}
+	if ok, err := p.accept(tokLBracket); err != nil {
+		return nil, err
+	} else if ok {
+		n, err := p.constExpr(p.pendingConsts)
+		if err != nil {
+			return nil, err
+		}
+		if n <= 0 {
+			return nil, p.errf("array %q must have positive size", d.Name)
+		}
+		d.Words = int(n)
+		d.Array = true
+		if _, err := p.expect(tokRBracket); err != nil {
+			return nil, err
+		}
+	}
+	if ok, err := p.accept(tokAssign); err != nil {
+		return nil, err
+	} else if ok {
+		if d.Array {
+			return nil, p.errf("array %q cannot have an initialiser", d.Name)
+		}
+		v, err := p.constExpr(p.pendingConsts)
+		if err != nil {
+			return nil, err
+		}
+		d.Init = v
+	}
+	_, err = p.expect(tokSemi)
+	return d, err
+}
+
+func (p *parser) funcDecl() (*FuncDecl, error) {
+	line := p.tok.line
+	worker := p.tok.kind == tokWorker
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	var params []string
+	for p.tok.kind != tokRParen {
+		id, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		params = append(params, id.text)
+		if ok, err := p.accept(tokComma); err != nil {
+			return nil, err
+		} else if !ok {
+			break
+		}
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &FuncDecl{Name: name.text, Params: params, Body: body, Worker: worker, Line: line}, nil
+}
+
+func (p *parser) block() (*BlockStmt, error) {
+	line := p.tok.line
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{Line: line}
+	for p.tok.kind != tokRBrace {
+		if p.tok.kind == tokEOF {
+			return nil, p.errf("unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			b.Stmts = append(b.Stmts, s)
+		}
+	}
+	return b, p.advance()
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	line := p.tok.line
+	switch p.tok.kind {
+	case tokSemi:
+		return nil, p.advance()
+	case tokLBrace:
+		return p.block()
+	case tokVar:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		s := &VarStmt{Name: name.text, Line: line}
+		if ok, err := p.accept(tokAssign); err != nil {
+			return nil, err
+		} else if ok {
+			s.Init, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		_, err = p.expect(tokSemi)
+		return s, err
+	case tokIf:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		then, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		s := &IfStmt{Cond: cond, Then: then, Line: line}
+		if ok, err := p.accept(tokElse); err != nil {
+			return nil, err
+		} else if ok {
+			s.Else, err = p.stmt()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+	case tokWhile:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Line: line}, nil
+	case tokFor:
+		return p.forStmt()
+	case tokReturn:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		s := &ReturnStmt{Line: line}
+		if p.tok.kind != tokSemi {
+			x, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.X = x
+		}
+		_, err := p.expect(tokSemi)
+		return s, err
+	case tokBreak:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		_, err := p.expect(tokSemi)
+		return &BreakStmt{Line: line}, err
+	case tokContinue:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		_, err := p.expect(tokSemi)
+		return &ContinueStmt{Line: line}, err
+	case tokLock, tokUnlock:
+		unlock := p.tok.kind == tokUnlock
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		addr, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		_, err = p.expect(tokSemi)
+		return &LockStmt{Addr: addr, Unlock: unlock, Line: line}, err
+	case tokCoworker:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		var args []Expr
+		for p.tok.kind != tokRParen {
+			a, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if ok, err := p.accept(tokComma); err != nil {
+				return nil, err
+			} else if !ok {
+				break
+			}
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		s := &CoworkerStmt{Callee: name.text, Args: args, Line: line}
+		if ok, err := p.accept(tokElse); err != nil {
+			return nil, err
+		} else if ok {
+			s.Else, err = p.block()
+			if err != nil {
+				return nil, err
+			}
+			return s, nil
+		}
+		_, err = p.expect(tokSemi)
+		return s, err
+	}
+	return p.simpleStmt(true)
+}
+
+// forStmt parses `for (init; cond; post) body`.
+func (p *parser) forStmt() (Stmt, error) {
+	line := p.tok.line
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	s := &ForStmt{Line: line}
+	if p.tok.kind != tokSemi {
+		init, err := p.simpleStmt(false)
+		if err != nil {
+			return nil, err
+		}
+		s.Init = init
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokSemi {
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Cond = cond
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokRParen {
+		post, err := p.simpleStmt(false)
+		if err != nil {
+			return nil, err
+		}
+		s.Post = post
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	s.Body = body
+	return s, nil
+}
+
+// simpleStmt parses an assignment or expression statement. When semi is
+// true, a trailing ';' is consumed.
+func (p *parser) simpleStmt(semi bool) (Stmt, error) {
+	line := p.tok.line
+	x, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	var s Stmt
+	if ok, err := p.accept(tokAssign); err != nil {
+		return nil, err
+	} else if ok {
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s = &AssignStmt{LHS: x, RHS: rhs, Line: line}
+	} else {
+		s = &ExprStmt{X: x, Line: line}
+	}
+	if semi {
+		if _, err := p.expect(tokSemi); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Expression precedence (loosest to tightest):
+// || ; && ; | ; ^ ; & ; == != ; < <= > >= ; << >> ; + - ; * / %
+var binPrec = map[tokKind]int{
+	tokOrOr: 1, tokAndAnd: 2,
+	tokPipe: 3, tokCaret: 4, tokAmp: 5,
+	tokEq: 6, tokNe: 6,
+	tokLt: 7, tokLe: 7, tokGt: 7, tokGe: 7,
+	tokShl: 8, tokShr: 8,
+	tokPlus: 9, tokMinus: 9,
+	tokStar: 10, tokSlash: 10, tokPercent: 10,
+}
+
+func (p *parser) expr() (Expr, error) { return p.binary(0) }
+
+func (p *parser) binary(minPrec int) (Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		prec, ok := binPrec[p.tok.kind]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		op := p.tok.kind
+		line := p.tok.line
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		rhs, err := p.binary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Op: op, X: lhs, Y: rhs, Line: line}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	line := p.tok.line
+	switch p.tok.kind {
+	case tokMinus, tokBang, tokTilde, tokStar, tokAmp:
+		op := p.tok.kind
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: op, X: x, Line: line}, nil
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (Expr, error) {
+	x, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.tok.kind {
+		case tokLBracket:
+			line := p.tok.line
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRBracket); err != nil {
+				return nil, err
+			}
+			x = &IndexExpr{Base: x, Idx: idx, Line: line}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) primary() (Expr, error) {
+	line := p.tok.line
+	switch p.tok.kind {
+	case tokNumber, tokChar:
+		v := p.tok.val
+		return &NumExpr{Val: v, Line: line}, p.advance()
+	case tokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		_, err = p.expect(tokRParen)
+		return x, err
+	case tokIdent:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokLParen {
+			return &IdentExpr{Name: name, Line: line}, nil
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		call := &CallExpr{Callee: name, Line: line}
+		for p.tok.kind != tokRParen {
+			a, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			call.Args = append(call.Args, a)
+			if ok, err := p.accept(tokComma); err != nil {
+				return nil, err
+			} else if !ok {
+				break
+			}
+		}
+		_, err := p.expect(tokRParen)
+		return call, err
+	}
+	return nil, p.errf("unexpected %v in expression", p.tok.kind)
+}

@@ -1,0 +1,196 @@
+package capc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PreProcess renders the file as the paper's Fig. 2(b) "pre-processed
+// source": plain C-like code where every coworker statement has been
+// expanded into a switch over the probe+spawn primitive. It is a
+// presentation aid (the real lowering is Gen); capc -pre prints it.
+func PreProcess(f *File) string {
+	p := &printer{}
+	for _, c := range f.Consts {
+		p.linef("const %s = %d;", c.Name, c.Value)
+	}
+	for _, g := range f.Globals {
+		if g.Array {
+			p.linef("var %s[%d];", g.Name, g.Words)
+		} else if g.Init != 0 {
+			p.linef("var %s = %d;", g.Name, g.Init)
+		} else {
+			p.linef("var %s;", g.Name)
+		}
+	}
+	for _, fn := range f.Funcs {
+		kw := "func"
+		if fn.Worker {
+			kw = "worker"
+		}
+		p.linef("")
+		p.linef("%s %s(%s) {", kw, fn.Name, strings.Join(fn.Params, ", "))
+		p.indent++
+		for _, s := range fn.Body.Stmts {
+			p.stmt(s)
+		}
+		p.indent--
+		p.linef("}")
+	}
+	return p.b.String()
+}
+
+type printer struct {
+	b      strings.Builder
+	indent int
+}
+
+func (p *printer) linef(format string, args ...any) {
+	for i := 0; i < p.indent; i++ {
+		p.b.WriteString("    ")
+	}
+	fmt.Fprintf(&p.b, format+"\n", args...)
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch s := s.(type) {
+	case *BlockStmt:
+		p.linef("{")
+		p.indent++
+		for _, in := range s.Stmts {
+			p.stmt(in)
+		}
+		p.indent--
+		p.linef("}")
+	case *VarStmt:
+		if s.Init != nil {
+			p.linef("var %s = %s;", s.Name, exprString(s.Init))
+		} else {
+			p.linef("var %s;", s.Name)
+		}
+	case *AssignStmt:
+		p.linef("%s = %s;", exprString(s.LHS), exprString(s.RHS))
+	case *ExprStmt:
+		p.linef("%s;", exprString(s.X))
+	case *IfStmt:
+		p.linef("if (%s)", exprString(s.Cond))
+		p.indentStmt(s.Then)
+		if s.Else != nil {
+			p.linef("else")
+			p.indentStmt(s.Else)
+		}
+	case *WhileStmt:
+		p.linef("while (%s)", exprString(s.Cond))
+		p.indentStmt(s.Body)
+	case *ForStmt:
+		init, cond, post := "", "", ""
+		if s.Init != nil {
+			init = strings.TrimSuffix(stmtOneLine(s.Init), ";")
+		}
+		if s.Cond != nil {
+			cond = exprString(s.Cond)
+		}
+		if s.Post != nil {
+			post = strings.TrimSuffix(stmtOneLine(s.Post), ";")
+		}
+		p.linef("for (%s; %s; %s)", init, cond, post)
+		p.indentStmt(s.Body)
+	case *ReturnStmt:
+		if s.X != nil {
+			p.linef("return %s;", exprString(s.X))
+		} else {
+			p.linef("return;")
+		}
+	case *BreakStmt:
+		p.linef("break;")
+	case *ContinueStmt:
+		p.linef("continue;")
+	case *LockStmt:
+		if s.Unlock {
+			p.linef("unlock(%s);", exprString(s.Addr))
+		} else {
+			p.linef("lock(%s);", exprString(s.Addr))
+		}
+	case *CoworkerStmt:
+		// The Fig. 2(b) expansion.
+		args := make([]string, len(s.Args))
+		for i, a := range s.Args {
+			args[i] = exprString(a)
+		}
+		call := fmt.Sprintf("%s(%s)", s.Callee, strings.Join(args, ", "))
+		p.linef("switch (nthr()) {        /* pre-processed coworker */")
+		p.linef("case -1:                 /* probe failed */")
+		p.indent++
+		if s.Else != nil {
+			for _, in := range s.Else.Stmts {
+				p.stmt(in)
+			}
+		} else {
+			p.linef("%s;", call)
+		}
+		p.linef("break;")
+		p.indent--
+		p.linef("case 0:                  /* parent keeps the left half */")
+		p.indent++
+		p.linef("break;")
+		p.indent--
+		p.linef("case 1:                  /* child: new stack, right half */")
+		p.indent++
+		p.linef("__capsule_new_stack();")
+		p.linef("%s;", call)
+		p.linef("kthr();")
+		p.indent--
+		p.linef("}")
+	}
+}
+
+func (p *printer) indentStmt(s Stmt) {
+	p.indent++
+	p.stmt(s)
+	p.indent--
+}
+
+func stmtOneLine(s Stmt) string {
+	switch s := s.(type) {
+	case *AssignStmt:
+		return fmt.Sprintf("%s = %s;", exprString(s.LHS), exprString(s.RHS))
+	case *ExprStmt:
+		return exprString(s.X) + ";"
+	}
+	return "..."
+}
+
+var tokOpStrings = map[tokKind]string{
+	tokPlus: "+", tokMinus: "-", tokStar: "*", tokSlash: "/", tokPercent: "%",
+	tokAmp: "&", tokPipe: "|", tokCaret: "^", tokShl: "<<", tokShr: ">>",
+	tokLt: "<", tokLe: "<=", tokGt: ">", tokGe: ">=", tokEq: "==", tokNe: "!=",
+	tokAndAnd: "&&", tokOrOr: "||", tokBang: "!", tokTilde: "~",
+}
+
+func exprString(e Expr) string {
+	switch e := e.(type) {
+	case *NumExpr:
+		return fmt.Sprintf("%d", e.Val)
+	case *IdentExpr:
+		return e.Name
+	case *UnaryExpr:
+		if e.Op == tokStar {
+			return "*" + exprString(e.X)
+		}
+		if e.Op == tokAmp {
+			return "&" + exprString(e.X)
+		}
+		return tokOpStrings[e.Op] + exprString(e.X)
+	case *BinaryExpr:
+		return fmt.Sprintf("(%s %s %s)", exprString(e.X), tokOpStrings[e.Op], exprString(e.Y))
+	case *IndexExpr:
+		return fmt.Sprintf("%s[%s]", exprString(e.Base), exprString(e.Idx))
+	case *CallExpr:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = exprString(a)
+		}
+		return fmt.Sprintf("%s(%s)", e.Callee, strings.Join(args, ", "))
+	}
+	return "?"
+}

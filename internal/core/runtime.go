@@ -1,0 +1,138 @@
+// Package core ties the CAPSULE pieces together: it owns the capsule
+// runtime (the software half of the paper's contribution: _start, the
+// pre-allocated worker stack pool, and the heap allocator), and the
+// toolchain driver that compiles CapC, links the runtime, and produces a
+// runnable program image.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/capc"
+	"repro/internal/prog"
+)
+
+// stackSkew staggers stack tops by three cache lines so that the
+// fixed-power-of-two stack pitch does not alias every worker frame onto the
+// same L1 sets.
+const stackSkew = 96
+
+// RuntimeAsm returns the capsule runtime assembly: program entry, worker
+// stack pool (a lock-protected LIFO free list threaded through the stacks
+// themselves), and the heap bump allocator behind CapC's alloc().
+//
+// __cap_stack_get/__cap_stack_put are the "stack management code" of
+// Section 3.2 whose measured overhead the paper reports as ~15 cycles per
+// division; they deliberately use only t registers so a freshly divided
+// child can call them before it owns a stack.
+func RuntimeAsm() string {
+	firstTop := prog.StackPoolLow + prog.StackSize
+	stride := prog.StackSize + stackSkew
+	return fmt.Sprintf(`# capsule runtime
+.data
+__cap_heap_ptr:
+	.word %d
+__cap_stack_head:
+	.word 0
+
+.text
+_start:
+	li sp, %d
+	jal ra, __cap_init
+	jal ra, main
+	halt
+
+# Build the worker stack free list: word at (top-8) links to the next free
+# stack top; __cap_stack_head points at the most recently freed top.
+__cap_init:
+	li t0, %d                 # pool size
+	li t1, %d                 # first stack top
+	li t2, 0                  # list terminator
+__cap_init_loop:
+	sd t2, -8(t1)
+	mv t2, t1
+	li t3, %d                 # stack stride (size + skew)
+	add t1, t1, t3
+	addi t0, t0, -1
+	bnez t0, __cap_init_loop
+	la t4, __cap_stack_head
+	sd t2, 0(t4)
+	ret
+
+# __cap_alloc: a0 = word count; returns the block address in a0.
+__cap_alloc:
+	la t0, __cap_heap_ptr
+	mlock t0
+	ld t1, 0(t0)
+	slli t2, a0, 3
+	add t2, t1, t2
+	sd t2, 0(t0)
+	munlock t0
+	mv a0, t1
+	ret
+
+# __cap_stack_get: pop a stack from the pool; returns its top in t0.
+# Clobbers only t registers (a freshly divided child has no stack yet).
+__cap_stack_get:
+	la t5, __cap_stack_head
+	mlock t5
+	ld t0, 0(t5)
+	beqz t0, __cap_stack_empty
+	ld t6, -8(t0)
+	sd t6, 0(t5)
+	munlock t5
+	ret
+__cap_stack_empty:
+	li t1, 3735928559         # 0xDEADBEEF: worker stack pool exhausted
+	print t1
+	halt
+
+# __cap_stack_put: t0 = stack top to return to the pool.
+__cap_stack_put:
+	la t5, __cap_stack_head
+	mlock t5
+	ld t6, 0(t5)
+	sd t6, -8(t0)
+	sd t0, 0(t5)
+	munlock t5
+	ret
+`,
+		prog.HeapBase,
+		prog.MainStackTop,
+		prog.StackPoolNum,
+		firstTop,
+		stride,
+	)
+}
+
+// RuntimeUnit wraps RuntimeAsm as an assembler unit.
+func RuntimeUnit() asm.Unit {
+	return asm.Unit{Name: "capsule_rt.s", Text: RuntimeAsm()}
+}
+
+// Build is a linked CapC program plus its compilation artefacts.
+type Build struct {
+	Program  *prog.Program
+	Compiled *capc.Compiled
+}
+
+// BuildCapC runs the full toolchain on one CapC unit: compile, link against
+// the capsule runtime, and assemble.
+func BuildCapC(name, src string) (*Build, error) {
+	compiled, err := capc.Compile(name, src)
+	if err != nil {
+		return nil, fmt.Errorf("core: compile %s: %w", name, err)
+	}
+	p, err := asm.Assemble(RuntimeUnit(), asm.Unit{Name: name + ".s", Text: compiled.Asm})
+	if err != nil {
+		return nil, fmt.Errorf("core: assemble %s: %w", name, err)
+	}
+	return &Build{Program: p, Compiled: compiled}, nil
+}
+
+// BuildAsm assembles raw assembly units together with the capsule runtime.
+func BuildAsm(units ...asm.Unit) (*prog.Program, error) {
+	all := append([]asm.Unit{RuntimeUnit()}, units...)
+	return asm.Assemble(all...)
+}

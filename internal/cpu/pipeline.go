@@ -1,0 +1,888 @@
+package cpu
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bpred"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/prog"
+)
+
+// ctxState is a hardware context's state (Section 3.1: free, active, stall).
+type ctxState uint8
+
+const (
+	ctxFree ctxState = iota
+	ctxActive
+	ctxStall
+)
+
+// context is one hardware thread context.
+type context struct {
+	id     int
+	state  ctxState
+	thread *emu.Thread
+	ras    *bpred.RAS
+
+	icount int // in-flight instructions (fetch queue + RUU), drives ICOUNT
+
+	// Fetch blockers.
+	fetchBlockedUntil uint64    // I-cache miss / register copy / swap-in
+	blockedOnBranch   *ruuEntry // mispredict: resolve before refetch
+	joinWaiting       bool      // stalled on join
+	blockedSince      uint64    // first cycle of the current lock/join block
+
+	// Lifecycle.
+	dying      bool // kthr fetched; context frees when it commits
+	divPending bool // seized by an in-flight nthr, activates at its commit
+	evicting   bool // swap-out in progress (drain, then copy out)
+	evictAt    uint64
+
+	// Swap policy state.
+	loadCounter int
+
+	// In-order list of this context's in-flight entries (commit order).
+	entries []*ruuEntry
+}
+
+// ruuEntry is one in-flight instruction in the register update unit.
+type ruuEntry struct {
+	seq  uint64
+	ctx  *context
+	info emu.StepInfo
+
+	deps       int // outstanding register producers
+	dependents []*ruuEntry
+
+	inRUU     bool // dispatched (occupies an RUU slot; LSQ too if memory op)
+	issued    bool
+	completed bool
+	latCycles int
+	readyAt   uint64 // completion (writeback) cycle once issued
+
+	isLoad, isStore bool
+	mispredicted    bool
+
+	// Division bookkeeping: the context seized for the child.
+	childCtx *context
+}
+
+// stackEntry is a swapped-out thread on the LIFO context stack.
+type stackEntry struct {
+	thread  *emu.Thread
+	ras     *bpred.RAS
+	readyAt uint64 // approximate resolution of the miss that evicted it
+}
+
+type lockEntry struct {
+	owner   *emu.Thread
+	waiters []*emu.Thread // FIFO; head is the paper's "oldest stalled"
+}
+
+// Machine is the timing simulator.
+type Machine struct {
+	cfg  Config
+	p    *prog.Program
+	mem  *mem.Memory
+	hier *mem.Hierarchy
+	pred *bpred.Predictor
+
+	cycle uint64
+	seq   uint64
+
+	contexts []*context
+	stack    []stackEntry // LIFO
+
+	fetchQ []*ruuEntry // fetched, awaiting dispatch (in fetch order)
+
+	ruuCount int
+	lsqCount int
+
+	locks       map[uint64]*lockEntry
+	lockBlocked map[int]bool // thread id -> blocked in the locking table
+
+	groups map[int]int64
+
+	nextTID int
+
+	// Division policy state.
+	deathTimes   []uint64 // recent death cycles (ring with amortised trim)
+	deathHead    int
+	staticFrozen bool
+
+	// Load latency rolling average (paper: last 1000 loads).
+	loadLatWindow []int
+	loadLatHead   int
+	loadLatSum    int64
+
+	halted   bool
+	haltSeen bool
+
+	// Output accumulates print-instruction values; OutputCycles records the
+	// cycle each value was produced (used for section timing markers).
+	Output       []int64
+	OutputCycles []uint64
+	stats        Stats
+
+	// TraceDivisions, when set before Run, records every granted division
+	// in Divisions (Fig. 6 trees).
+	TraceDivisions bool
+	Divisions      []DivisionEvent
+
+	issueBuf []*ruuEntry // scratch for the issue stage
+}
+
+// New builds a machine for program p with the ancestor thread on context 0.
+func New(p *prog.Program, cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:         cfg,
+		p:           p,
+		mem:         mem.NewMemory(),
+		hier:        mem.NewHierarchy(cfg.Hierarchy),
+		pred:        bpred.New(cfg.Predictor),
+		locks:       make(map[uint64]*lockEntry),
+		lockBlocked: make(map[int]bool),
+		groups:      make(map[int]int64),
+	}
+	m.mem.StoreBytes(prog.DataBase, p.Data)
+	m.contexts = make([]*context, cfg.Contexts)
+	for i := range m.contexts {
+		m.contexts[i] = &context{id: i, state: ctxFree, ras: bpred.NewRAS(cfg.Predictor.RASDepth)}
+	}
+	t := &emu.Thread{ID: 0, Group: 0, PC: p.Entry}
+	t.Regs[isa.RegSP] = int64(prog.MainStackTop)
+	m.nextTID = 1
+	m.groups[0] = 1
+	c0 := m.contexts[0]
+	c0.state = ctxActive
+	c0.thread = t
+	m.stats.TotalThreads = 1
+	m.stats.PeakLiveThreads = 1
+	return m, nil
+}
+
+// Memory exposes the simulated memory (for loading inputs and reading
+// results).
+func (m *Machine) Memory() *mem.Memory { return m.mem }
+
+// Program returns the loaded program.
+func (m *Machine) Program() *prog.Program { return m.p }
+
+// Stats returns the counters (final after Run returns).
+func (m *Machine) Stats() Stats {
+	s := m.stats
+	s.Cycles = m.cycle
+	s.BranchStats = m.pred.Stats()
+	s.L1I, s.L1D, s.L2 = m.hier.Stats()
+	return s
+}
+
+// Cycle returns the current cycle.
+func (m *Machine) Cycle() uint64 { return m.cycle }
+
+// Halted reports whether the program's halt committed.
+func (m *Machine) Halted() bool { return m.halted }
+
+// Run simulates until the program halts. It returns an error on deadlock,
+// runaway simulation, or functional faults.
+func (m *Machine) Run() error {
+	lastCommit := uint64(0)
+	lastInsts := uint64(0)
+	horizon := m.deadlockHorizon()
+	for !m.halted {
+		if err := m.Step(); err != nil {
+			return err
+		}
+		if m.stats.Insts != lastInsts {
+			lastInsts = m.stats.Insts
+			lastCommit = m.cycle
+		} else if m.cycle-lastCommit > horizon {
+			return fmt.Errorf("cpu: no commit progress for %d cycles at cycle %d (%s)",
+				m.cycle-lastCommit, m.cycle, m.describeBlockage())
+		}
+		if m.cycle > m.cfg.MaxCycles {
+			return fmt.Errorf("cpu: exceeded MaxCycles=%d", m.cfg.MaxCycles)
+		}
+	}
+	m.drain()
+	return nil
+}
+
+// drain lets in-flight work of other workers retire after halt committed
+// (fetch stays disabled), so commit-time accounting — deaths, context
+// deallocation — is complete. Work that cannot finish (e.g. a worker
+// blocked on a lock whose owner halted) is abandoned after a bound.
+func (m *Machine) drain() {
+	bound := m.cycle + m.deadlockHorizon()
+	for m.cycle < bound {
+		busy := false
+		for _, c := range m.contexts {
+			if len(c.entries) > 0 {
+				busy = true
+				break
+			}
+		}
+		if !busy {
+			return
+		}
+		if err := m.Step(); err != nil {
+			return
+		}
+	}
+}
+
+func (m *Machine) deadlockHorizon() uint64 {
+	h := uint64(8*m.cfg.SwapCycles + 8*m.cfg.Hierarchy.MemoryCycles + 2*m.cfg.RescueBlockedCycles)
+	if h < 50000 {
+		h = 50000
+	}
+	return h
+}
+
+func (m *Machine) describeBlockage() string {
+	s := ""
+	for _, c := range m.contexts {
+		if c.state == ctxFree {
+			continue
+		}
+		why := "?"
+		switch {
+		case c.thread != nil && m.lockBlocked[c.thread.ID]:
+			why = "lock"
+		case c.joinWaiting:
+			why = "join"
+		case c.blockedOnBranch != nil:
+			why = "branch"
+		case c.fetchBlockedUntil > m.cycle:
+			why = "latency"
+		case c.dying:
+			why = "dying"
+		case c.evicting:
+			why = "evicting"
+		case c.divPending:
+			why = "divpending"
+		}
+		pc := int32(-1)
+		tid := -1
+		if c.thread != nil {
+			pc = c.thread.PC
+			tid = c.thread.ID
+		}
+		s += fmt.Sprintf("[ctx%d t%d pc=%d inflight=%d %s] ", c.id, tid, pc, len(c.entries), why)
+	}
+	s += fmt.Sprintf("stack=%d fetchQ=%d", len(m.stack), len(m.fetchQ))
+	return s
+}
+
+// Step advances one cycle: commit -> complete -> issue -> dispatch ->
+// fetch -> housekeeping (reverse pipeline order).
+func (m *Machine) Step() error {
+	m.commit()
+	m.complete()
+	m.issue()
+	m.dispatch()
+	if err := m.fetch(); err != nil {
+		return err
+	}
+	m.houseKeeping()
+	for _, c := range m.contexts {
+		if c.state == ctxActive {
+			m.stats.ActiveCtxCycles++
+			if c.thread != nil && m.lockBlocked[c.thread.ID] {
+				m.stats.LockStallCycles++
+			}
+		}
+	}
+	m.cycle++
+	return nil
+}
+
+// ---------------------------------------------------------------- commit --
+
+func (m *Machine) commit() {
+	width := m.cfg.CommitWidth
+	storePorts := m.hier.DataPorts()
+	for width > 0 {
+		var oldest *ruuEntry
+		for _, c := range m.contexts {
+			if len(c.entries) == 0 {
+				continue
+			}
+			e := c.entries[0]
+			if !e.completed {
+				continue
+			}
+			if oldest == nil || e.seq < oldest.seq {
+				oldest = e
+			}
+		}
+		if oldest == nil {
+			return
+		}
+		if oldest.isStore {
+			if storePorts == 0 {
+				return
+			}
+			storePorts--
+			// Write-allocate: a store miss occupies the remaining store
+			// bandwidth this cycle (the line fill competes for ports), a
+			// coarse model of miss-status-register pressure.
+			if lat := m.hier.DataLatency(oldest.info.MemAddr); lat > m.cfg.Hierarchy.L1D.HitCycles {
+				storePorts = 0
+			}
+		}
+		m.retire(oldest)
+		width--
+	}
+}
+
+// retire removes e from the machine and applies commit-time side effects.
+func (m *Machine) retire(e *ruuEntry) {
+	c := e.ctx
+	c.entries = c.entries[1:]
+	c.icount--
+	m.ruuCount--
+	if e.isLoad || e.isStore {
+		m.lsqCount--
+	}
+	m.stats.Insts++
+
+	switch e.info.Inst.Op {
+	case isa.OpNthr:
+		if e.childCtx != nil {
+			// Register copy at commit (Section 3.1): the parent stalls one
+			// cycle; the child activates once its registers are written.
+			delay := uint64(m.cfg.RegCopyCycles + m.cfg.DivExtraCycles)
+			cc := e.childCtx
+			cc.divPending = false
+			cc.state = ctxActive
+			cc.fetchBlockedUntil = m.cycle + 1 + delay
+			if c.fetchBlockedUntil < m.cycle+1 {
+				c.fetchBlockedUntil = m.cycle + 1
+			}
+		}
+	case isa.OpKthr:
+		m.recordDeath()
+		m.freeContext(c)
+	case isa.OpHalt:
+		m.halted = true
+	}
+}
+
+// freeContext releases c after kthr or eviction and considers a swap-in.
+func (m *Machine) freeContext(c *context) {
+	c.state = ctxFree
+	c.thread = nil
+	c.dying = false
+	c.evicting = false
+	c.evictAt = 0
+	c.joinWaiting = false
+	c.blockedOnBranch = nil
+	c.blockedSince = 0
+	c.loadCounter = 0
+	c.fetchBlockedUntil = 0
+	c.ras.Reset()
+	m.trySwapIn(c)
+}
+
+// trySwapIn pops the LIFO stack into a free context once the top thread's
+// eviction-causing miss has resolved.
+func (m *Machine) trySwapIn(c *context) {
+	if !m.cfg.SwapOn || len(m.stack) == 0 || c.state != ctxFree {
+		return
+	}
+	top := m.stack[len(m.stack)-1]
+	if top.readyAt > m.cycle {
+		return
+	}
+	m.stack = m.stack[:len(m.stack)-1]
+	c.state = ctxActive
+	c.thread = top.thread
+	c.ras = top.ras
+	c.fetchBlockedUntil = m.cycle + uint64(m.cfg.SwapCycles)
+	m.stats.SwapsIn++
+}
+
+func (m *Machine) recordDeath() {
+	m.stats.Deaths++
+	m.deathTimes = append(m.deathTimes, m.cycle)
+	w := uint64(m.cfg.DeathWindow)
+	for m.deathHead < len(m.deathTimes) && m.deathTimes[m.deathHead]+w < m.cycle {
+		m.deathHead++
+	}
+	if m.deathHead > 1024 {
+		m.deathTimes = append([]uint64(nil), m.deathTimes[m.deathHead:]...)
+		m.deathHead = 0
+	}
+}
+
+func (m *Machine) deathsInWindow() int {
+	w := uint64(m.cfg.DeathWindow)
+	n := 0
+	for i := len(m.deathTimes) - 1; i >= m.deathHead; i-- {
+		if m.deathTimes[i]+w >= m.cycle {
+			n++
+		} else {
+			break
+		}
+	}
+	return n
+}
+
+// -------------------------------------------------------------- complete --
+
+// complete moves issued entries whose latency elapsed to the completed
+// state, wakes dependents, and resolves mispredicted control flow.
+func (m *Machine) complete() {
+	for _, c := range m.contexts {
+		for _, e := range c.entries {
+			if !e.issued || e.completed || e.readyAt > m.cycle {
+				continue
+			}
+			e.completed = true
+			for _, d := range e.dependents {
+				d.deps--
+			}
+			e.dependents = nil
+			if e.mispredicted && c.blockedOnBranch == e {
+				c.blockedOnBranch = nil
+				if c.fetchBlockedUntil < m.cycle+1 {
+					c.fetchBlockedUntil = m.cycle + 1
+				}
+			}
+			if e.isLoad {
+				m.noteLoadLatency(c, e.latCycles)
+			}
+		}
+	}
+}
+
+// ----------------------------------------------------------------- issue --
+
+func (m *Machine) issue() {
+	cand := m.issueBuf[:0]
+	for _, c := range m.contexts {
+		for _, e := range c.entries {
+			if e.inRUU && !e.issued && e.deps == 0 {
+				cand = append(cand, e)
+			}
+		}
+	}
+	m.issueBuf = cand[:0]
+	if len(cand) == 0 {
+		return
+	}
+	sort.Slice(cand, func(i, j int) bool { return cand[i].seq < cand[j].seq })
+
+	width := m.cfg.IssueWidth
+	ialu := m.cfg.IALUs
+	imult := m.cfg.IMults
+	fpalu := m.cfg.FPALUs
+	fpmult := m.cfg.FPMults
+	ports := m.hier.DataPorts()
+
+	for _, e := range cand {
+		if width == 0 {
+			break
+		}
+		lat := e.info.Inst.Op.Latency()
+		switch e.info.Inst.Op.Class() {
+		case isa.ClassIALU, isa.ClassCtrl, isa.ClassSys:
+			if ialu == 0 {
+				continue
+			}
+			ialu--
+		case isa.ClassIMult:
+			if imult == 0 {
+				continue
+			}
+			imult--
+		case isa.ClassFPALU:
+			if fpalu == 0 {
+				continue
+			}
+			fpalu--
+		case isa.ClassFPMult:
+			if fpmult == 0 {
+				continue
+			}
+			fpmult--
+		case isa.ClassMem:
+			if e.isLoad {
+				if ports == 0 {
+					continue
+				}
+				ports--
+				if m.olderStoreSameAddr(e) {
+					lat = 1 // store-to-load forwarding from the LSQ
+				} else {
+					lat = m.hier.DataLatency(e.info.MemAddr)
+				}
+			} else {
+				lat = 1 // stores complete into the store buffer
+			}
+		}
+		e.issued = true
+		e.latCycles = lat
+		e.readyAt = m.cycle + uint64(lat)
+		width--
+	}
+}
+
+// olderStoreSameAddr reports whether an older in-flight store of the same
+// context targets the same word (the value forwards from the store buffer).
+func (m *Machine) olderStoreSameAddr(load *ruuEntry) bool {
+	for _, e := range load.ctx.entries {
+		if e.seq >= load.seq {
+			return false
+		}
+		if e.isStore && e.info.MemAddr>>3 == load.info.MemAddr>>3 {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *Machine) noteLoadLatency(c *context, lat int) {
+	if !m.cfg.SwapOn || m.cfg.LoadAvgWindow <= 0 {
+		return
+	}
+	if len(m.loadLatWindow) < m.cfg.LoadAvgWindow {
+		m.loadLatWindow = append(m.loadLatWindow, lat)
+		m.loadLatSum += int64(lat)
+	} else {
+		m.loadLatSum += int64(lat) - int64(m.loadLatWindow[m.loadLatHead])
+		m.loadLatWindow[m.loadLatHead] = lat
+		m.loadLatHead = (m.loadLatHead + 1) % m.cfg.LoadAvgWindow
+	}
+	avg := float64(m.loadLatSum) / float64(len(m.loadLatWindow))
+	if float64(lat) > avg {
+		c.loadCounter++
+	} else if c.loadCounter > 0 {
+		c.loadCounter--
+	}
+	if c.loadCounter >= m.cfg.SwapThreshold {
+		m.maybeEvict(c)
+	}
+}
+
+// maybeEvict swaps c out when no hardware context is free (the paper's
+// condition) and the stack has room.
+func (m *Machine) maybeEvict(c *context) {
+	if !m.cfg.SwapOn || c.evicting || c.dying || c.state == ctxFree {
+		return
+	}
+	if len(m.stack) >= m.cfg.StackEntries {
+		return
+	}
+	for _, o := range m.contexts {
+		if o.state == ctxFree {
+			return // a free context exists; no need to evict
+		}
+	}
+	c.evicting = true
+	c.state = ctxStall
+	c.loadCounter = 0
+}
+
+// -------------------------------------------------------------- dispatch --
+
+func (m *Machine) dispatch() {
+	width := m.cfg.DecodeWidth
+	for width > 0 && len(m.fetchQ) > 0 {
+		e := m.fetchQ[0]
+		if m.ruuCount >= m.cfg.RUUSize {
+			return
+		}
+		if (e.isLoad || e.isStore) && m.lsqCount >= m.cfg.LSQSize {
+			return
+		}
+		m.fetchQ = m.fetchQ[1:]
+		m.ruuCount++
+		if e.isLoad || e.isStore {
+			m.lsqCount++
+		}
+		e.inRUU = true
+		width--
+	}
+}
+
+// ----------------------------------------------------------------- fetch --
+
+// canFetch reports whether c may fetch this cycle.
+func (m *Machine) canFetch(c *context) bool {
+	if c.state != ctxActive || c.thread == nil || c.dying || c.evicting {
+		return false
+	}
+	if c.fetchBlockedUntil > m.cycle || c.blockedOnBranch != nil {
+		return false
+	}
+	if m.lockBlocked[c.thread.ID] {
+		return false
+	}
+	if c.joinWaiting {
+		if m.groups[c.thread.Group] > 1 {
+			return false
+		}
+		c.joinWaiting = false
+		c.blockedSince = 0
+	}
+	return true
+}
+
+func (m *Machine) fetch() error {
+	if m.haltSeen {
+		return nil
+	}
+	var eligible []*context
+	for _, c := range m.contexts {
+		if m.canFetch(c) {
+			eligible = append(eligible, c)
+		}
+	}
+	if len(eligible) == 0 {
+		return nil
+	}
+	if m.cfg.RoundRobinFetch {
+		// Rotate the starting context by cycle (the ablation baseline).
+		rot := int(m.cycle) % len(eligible)
+		eligible = append(eligible[rot:], eligible[:rot]...)
+	} else {
+		// ICOUNT: prefer contexts with the fewest in-flight instructions.
+		for i := 1; i < len(eligible); i++ {
+			for j := i; j > 0 && eligible[j].icount < eligible[j-1].icount; j-- {
+				eligible[j], eligible[j-1] = eligible[j-1], eligible[j]
+			}
+		}
+	}
+	nsel := m.cfg.FetchThreads
+	if nsel > len(eligible) {
+		nsel = len(eligible)
+	}
+	perThread := m.cfg.FetchPerThread
+	if nsel < m.cfg.FetchThreads {
+		perThread = m.cfg.MaxFetchPerThread
+	}
+	budget := m.cfg.FetchWidth
+	preds := m.cfg.BranchPredsPerCycle
+
+	for _, c := range eligible[:nsel] {
+		if budget <= 0 {
+			break
+		}
+		n, err := m.fetchThread(c, min(perThread, budget), &preds)
+		if err != nil {
+			return err
+		}
+		budget -= n
+	}
+	return nil
+}
+
+// fetchThread fetches up to maxN instructions for c, returning the count.
+func (m *Machine) fetchThread(c *context, maxN int, preds *int) (int, error) {
+	t := c.thread
+	// One I-cache access per fetch block.
+	lat := m.hier.InstLatency(prog.PCByteAddr(t.PC))
+	if lat > m.cfg.Hierarchy.L1I.HitCycles {
+		c.fetchBlockedUntil = m.cycle + uint64(lat)
+		return 0, nil
+	}
+	// Fetch stops at the cache line boundary (8 instructions per line).
+	lineEnd := (int(t.PC)/8 + 1) * 8
+	fetched := 0
+	for fetched < maxN && int(t.PC) < lineEnd {
+		if len(m.fetchQ) >= m.cfg.FetchQueue {
+			break
+		}
+		if int(t.PC) >= len(m.p.Insts) {
+			return fetched, emu.ErrPC{Thread: t.ID, PC: t.PC}
+		}
+		nextOp := m.p.Insts[t.PC].Op
+		if nextOp.IsBranch() && *preds == 0 {
+			break // out of branch-prediction bandwidth this cycle
+		}
+
+		info, st, err := emu.Step(m.p, m.mem, m, t)
+		if err != nil {
+			return fetched, err
+		}
+		if st == emu.StatusBlocked {
+			switch info.Inst.Op {
+			case isa.OpMlock:
+				m.lockBlocked[t.ID] = true
+			case isa.OpJoin:
+				c.joinWaiting = true
+			}
+			if c.blockedSince == 0 {
+				c.blockedSince = m.cycle
+			}
+			break
+		}
+
+		e := &ruuEntry{seq: m.seq, ctx: c, info: info}
+		m.seq++
+		e.isLoad = info.Inst.Op.IsLoad()
+		e.isStore = info.Inst.Op.IsStore()
+		m.resolveDeps(c, e)
+		c.entries = append(c.entries, e)
+		m.fetchQ = append(m.fetchQ, e)
+		c.icount++
+		m.stats.FetchedInsts++
+		fetched++
+
+		redirect := false
+		switch {
+		case info.Inst.Op.IsBranch():
+			*preds--
+			correct := m.pred.Update(prog.PCByteAddr(info.PC), info.Taken)
+			if !correct {
+				e.mispredicted = true
+				c.blockedOnBranch = e
+				m.stats.MispredictedBranches++
+				return fetched, nil
+			}
+			redirect = info.Taken
+		case info.Inst.Op == isa.OpJal:
+			c.ras.Push(uint64(info.PC + 1))
+			redirect = true
+		case info.Inst.Op == isa.OpJalr:
+			predTarget, ok := c.ras.Pop()
+			if !ok || predTarget != uint64(info.NextPC) {
+				e.mispredicted = true
+				c.blockedOnBranch = e
+				m.stats.MispredictedBranches++
+				return fetched, nil
+			}
+			redirect = true
+		case info.Inst.Op == isa.OpJ:
+			redirect = true
+		}
+
+		switch st {
+		case emu.StatusDead:
+			// kthr: active -> stall; the context frees when it commits.
+			c.dying = true
+			c.state = ctxStall
+			return fetched, nil
+		case emu.StatusHalt:
+			m.haltSeen = true
+			return fetched, nil
+		}
+		if info.DivGranted {
+			e.childCtx = m.ctxOfThread(info.Child)
+		}
+		if redirect {
+			// Taken control flow ends the fetch block; the thread resumes
+			// at the target next cycle.
+			break
+		}
+	}
+	return fetched, nil
+}
+
+// resolveDeps wires register dependences: the youngest in-flight producer
+// of each source feeds e.
+func (m *Machine) resolveDeps(c *context, e *ruuEntry) {
+	var buf [4]isa.RegRef
+	for _, s := range e.info.Inst.Sources(buf[:0]) {
+		if p := m.lastProducer(c, s); p != nil && !p.completed {
+			p.dependents = append(p.dependents, e)
+			e.deps++
+		}
+	}
+}
+
+// lastProducer scans c's in-flight entries youngest-first for a writer of r.
+func (m *Machine) lastProducer(c *context, r isa.RegRef) *ruuEntry {
+	for i := len(c.entries) - 1; i >= 0; i-- {
+		e := c.entries[i]
+		if d, ok := e.info.Inst.Dest(); ok && d == r {
+			return e
+		}
+	}
+	return nil
+}
+
+func (m *Machine) ctxOfThread(t *emu.Thread) *context {
+	for _, c := range m.contexts {
+		if c.thread == t {
+			return c
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------- housekeeping --
+
+func (m *Machine) houseKeeping() {
+	// Complete evictions whose pipelines drained.
+	for _, c := range m.contexts {
+		if c.evicting && len(c.entries) == 0 {
+			if c.evictAt == 0 {
+				c.evictAt = m.cycle + uint64(m.cfg.SwapCycles)
+				continue
+			}
+			if m.cycle >= c.evictAt {
+				m.stack = append(m.stack, stackEntry{
+					thread:  c.thread,
+					ras:     c.ras.Clone(),
+					readyAt: m.cycle + uint64(m.cfg.Hierarchy.MemoryCycles),
+				})
+				if len(m.stack) > m.stats.MaxStackDepth {
+					m.stats.MaxStackDepth = len(m.stack)
+				}
+				m.stats.SwapsOut++
+				m.freeContext(c)
+			}
+		}
+	}
+	// Swap-in into free contexts whose stack top became ready.
+	for _, c := range m.contexts {
+		if c.state == ctxFree {
+			m.trySwapIn(c)
+		}
+	}
+	// Rescue: a context blocked on a lock/join for a long time yields to a
+	// ready stacked thread (prevents priority inversion when the lock
+	// owner itself sits on the stack).
+	if m.cfg.SwapOn && len(m.stack) > 0 && len(m.stack) < m.cfg.StackEntries && m.cfg.RescueBlockedCycles > 0 {
+		top := m.stack[len(m.stack)-1]
+		if top.readyAt <= m.cycle {
+			for _, c := range m.contexts {
+				if c.state == ctxActive && c.thread != nil &&
+					(m.lockBlocked[c.thread.ID] || c.joinWaiting) &&
+					len(c.entries) == 0 && !c.evicting && !c.dying &&
+					c.blockedSince > 0 && m.cycle-c.blockedSince > uint64(m.cfg.RescueBlockedCycles) {
+					c.evicting = true
+					c.state = ctxStall
+					m.stats.Rescues++
+					break
+				}
+			}
+		}
+	}
+	// Track peak liveness.
+	live := len(m.stack)
+	for _, c := range m.contexts {
+		if c.state != ctxFree && c.thread != nil {
+			live++
+		}
+	}
+	if live > m.stats.PeakLiveThreads {
+		m.stats.PeakLiveThreads = live
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

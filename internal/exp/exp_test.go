@@ -1,0 +1,156 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cpu"
+)
+
+func tiny() Params { return Params{Scale: 0.01, Seed: 2} }
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"ablations", "crafty48", "divlat", "fig3", "fig5", "fig6", "fig7", "fig8", "table1", "table2", "table3", "vprcache"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("ids = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ids = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := Run("nope", tiny()); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestTable1Static(t *testing.T) {
+	r, err := Run("table1", tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.Render()
+	for _, want := range []string{"RUU size", "256", "8kB", "Icount 4.4", "200"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table1 missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTable2Static(t *testing.T) {
+	r, err := Run("table2", tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+}
+
+func TestFig3Tiny(t *testing.T) {
+	r, err := Run("fig3", tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("fig3 rows = %v", r.Rows)
+	}
+	t.Logf("\n%s", r.Render())
+}
+
+func TestFig5Tiny(t *testing.T) {
+	r, err := Run("fig5", tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("fig5 rows = %v", r.Rows)
+	}
+	t.Logf("\n%s", r.Render())
+}
+
+func TestFig6Tiny(t *testing.T) {
+	r, err := Run("fig6", tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) == 0 {
+		t.Fatal("no division rows")
+	}
+}
+
+func TestFig7Tiny(t *testing.T) {
+	r, err := Run("fig7", tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("fig7 rows = %v", r.Rows)
+	}
+	t.Logf("\n%s", r.Render())
+}
+
+func TestFig8Tiny(t *testing.T) {
+	r, err := Run("fig8", tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("fig8 rows = %v", r.Rows)
+	}
+	t.Logf("\n%s", r.Render())
+}
+
+func TestTable3Tiny(t *testing.T) {
+	r, err := Run("table3", tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("table3 rows = %v", r.Rows)
+	}
+	t.Logf("\n%s", r.Render())
+}
+
+func TestDivisionDOT(t *testing.T) {
+	dot := DivisionDOT([]cpu.DivisionEvent{{Cycle: 5, Parent: 0, Child: 1}})
+	if !strings.Contains(dot, "w0 -> w1") || !strings.Contains(dot, "digraph") {
+		t.Fatalf("dot = %s", dot)
+	}
+}
+
+func TestSummarise(t *testing.T) {
+	s := summarise([]uint64{10, 20, 30})
+	if s.mean != 20 || s.min != 10 || s.max != 30 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.stddev < 8 || s.stddev > 9 {
+		t.Fatalf("stddev = %v", s.stddev)
+	}
+	if z := summarise(nil); z.mean != 0 {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestSqrt(t *testing.T) {
+	if v := sqrt(144); v < 11.999 || v > 12.001 {
+		t.Fatalf("sqrt(144) = %v", v)
+	}
+	if sqrt(-1) != 0 || sqrt(0) != 0 {
+		t.Fatal("non-positive sqrt")
+	}
+}
+
+func TestScaledFloors(t *testing.T) {
+	p := Params{Scale: 0.001}
+	if p.scaled(1000, 50) != 50 {
+		t.Fatal("floor not applied")
+	}
+	if Full().scaled(1000, 50) != 1000 {
+		t.Fatal("full scale wrong")
+	}
+}

@@ -1,0 +1,286 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/workloads"
+)
+
+// rngFor derives a deterministic generator for (seed, index).
+func rngFor(seed int64, idx int) *rand.Rand {
+	return rand.New(rand.NewSource(seed*1_000_003 + int64(idx)*7919 + 17))
+}
+
+// Table 1: baseline configuration of SOMT, SMT and superscalar processors.
+func init() {
+	register("table1", func(Params) (*Result, error) {
+		c := cpu.SOMTConfig()
+		h := c.Hierarchy
+		kb := func(b int) string { return fmt.Sprintf("%dkB", b>>10) }
+		r := &Result{
+			ID:     "table1",
+			Title:  "baseline configuration (paper Table 1)",
+			Header: []string{"parameter", "value", "paper"},
+			Rows: [][]string{
+				{"fetch width", fmt.Sprintf("%d (ICOUNT.%d.%d)", c.FetchWidth, c.FetchThreads, c.FetchPerThread), "16, Icount 4.4"},
+				{"issue/decode/commit width", fmt.Sprintf("%d/%d/%d", c.IssueWidth, c.DecodeWidth, c.CommitWidth), "8"},
+				{"RUU size", fmt.Sprintf("%d", c.RUUSize), "256"},
+				{"LSQ size", fmt.Sprintf("%d", c.LSQSize), "128"},
+				{"FUs", fmt.Sprintf("%d IALU, %d IMULT, %d FPALU, %d FPMULT", c.IALUs, c.IMults, c.FPALUs, c.FPMults), "8,4,4,4"},
+				{"branch prediction", fmt.Sprintf("combined, %d meta, %d bimodal, %d gAp", c.Predictor.MetaEntries, c.Predictor.BimodalEntries, c.Predictor.PatternEntries), "1K meta, 4K bimodal, 8K gAp"},
+				{"memory latency", fmt.Sprintf("%d cycles", h.MemoryCycles), "200"},
+				{"L1 DCache", fmt.Sprintf("%s, %d cycle", kb(h.L1D.SizeBytes), h.L1D.HitCycles), "8kB, 1 cycle"},
+				{"L1 ICache", fmt.Sprintf("%s, %d cycle", kb(h.L1I.SizeBytes), h.L1I.HitCycles), "16kB, 1 cycle"},
+				{"L2 unified", fmt.Sprintf("%s, %d cycles", kb(h.L2.SizeBytes), h.L2.HitCycles), "1MB, 12 cycles"},
+				{"hardware contexts", fmt.Sprintf("%d", c.Contexts), "8"},
+				{"context stack", fmt.Sprintf("%d entries, %d-cycle swap", c.StackEntries, c.SwapCycles), "16 entries, ~200 cycles"},
+				{"death window", fmt.Sprintf("%d cycles, threshold %d", c.DeathWindow, c.Contexts/2), "128 cycles, contexts/2"},
+			},
+		}
+		return r, nil
+	})
+}
+
+// Table 2: the paper's componentisation statistics, alongside the
+// reproduction proxies' own static data.
+func init() {
+	register("table2", func(Params) (*Result, error) {
+		return &Result{
+			ID:     "table2",
+			Title:  "SPEC CINT2000 componentisation (paper data + proxy equivalents)",
+			Header: []string{"benchmark", "paper lines", "paper funcs", "paper modified lines", "paper % exec", "proxy kernel"},
+			Rows: [][]string{
+				{"181.mcf", "2412", "2", "174", "45%", "parallel route-planning tree search"},
+				{"175.vpr", "17729", "10", "624", "93%", "negotiated-congestion grid router"},
+				{"256.bzip2", "4649", "3", "317", "20%", "BWT bounded-depth suffix sort"},
+				{"186.crafty", "45000", "8", "201", "100%", "negamax with pthread-style pool"},
+			},
+			Notes: []string{"paper columns are Table 2 verbatim; proxies are documented substitutions (DESIGN.md)"},
+		}, nil
+	})
+}
+
+// Table 3: percentage and rate of successful divisions for mcf, vpr, bzip2.
+func init() {
+	register("table3", func(p Params) (*Result, error) {
+		r := &Result{
+			ID:     "table3",
+			Title:  "division statistics (paper Table 3)",
+			Header: []string{"benchmark", "# requested", "# allowed", "% allowed", "insts/division", "paper %", "paper insts/div"},
+		}
+		rng := rngFor(p.Seed+5, 0)
+
+		mcfIn := workloads.GenMCF(rng, p.scaled(16384, 800), p.scaled(4096, 256), 2)
+		mres, err := workloads.RunMCF(mcfIn, workloads.VariantComponent, cpu.SOMTConfig())
+		if err != nil {
+			return nil, err
+		}
+		add := func(name string, s cpu.Stats, paperPct, paperRate string) {
+			r.Rows = append(r.Rows, []string{
+				name, u(s.DivRequested), u(s.DivGranted), pct(s.DivGrantRate()),
+				f1(s.InstsPerDivision()), paperPct, paperRate,
+			})
+		}
+		add("mcf", mres.Stats, "40%", "3.7K")
+
+		vprIn := workloads.GenVPR(rng, p.scaled(48, 12), p.scaled(48, 12), p.scaled(24, 5), 8)
+		vres, err := workloads.RunVPR(vprIn, workloads.VariantComponent, cpu.SOMTConfig())
+		if err != nil {
+			return nil, err
+		}
+		add("vpr", vres.Run.Stats, "4%", "4.5M")
+
+		bzIn := workloads.GenBzip2(rng, p.scaled(2048, 256), 2)
+		bres, err := workloads.RunBzip2(bzIn, workloads.VariantComponent, cpu.SOMTConfig())
+		if err != nil {
+			return nil, err
+		}
+		add("bzip2", bres.Stats, "6%", "30M")
+		r.Notes = append(r.Notes,
+			"shape to preserve: mcf has by far the highest grant rate and lowest insts/division",
+			"absolute insts/div scale with input size; paper inputs are SPEC reference sets")
+		return r, nil
+	})
+}
+
+// crafty48: the paper's observation that the pthread-pool crafty is faster
+// on a 4-context SOMT than an 8-context one.
+func init() {
+	register("crafty48", func(p Params) (*Result, error) {
+		rng := rngFor(p.Seed+6, 0)
+		branch := p.scaled(16, 8)
+		in := workloads.GenCrafty(rng, 4, branch, 0)
+		ss, err := workloads.RunCrafty(in, workloads.VariantImperative, cpu.SuperscalarConfig())
+		if err != nil {
+			return nil, err
+		}
+		r := &Result{
+			ID:     "crafty48",
+			Title:  "crafty proxy: software pool on 4 vs 8 contexts",
+			Header: []string{"machine", "pool", "cycles", "speedup vs ss", "paper"},
+		}
+		for _, contexts := range []int{4, 8} {
+			cfg := cpu.SOMTConfig()
+			cfg.Contexts = contexts
+			inC := *in
+			inC.PoolSize = contexts - 1
+			res, err := workloads.RunCrafty(&inC, workloads.VariantComponent, cfg)
+			if err != nil {
+				return nil, err
+			}
+			paper := "2.3"
+			if contexts == 8 {
+				paper = "1.7"
+			}
+			r.Rows = append(r.Rows, []string{
+				fmt.Sprintf("%d-context SOMT", contexts),
+				fmt.Sprintf("%d threads", inC.PoolSize),
+				u(res.Cycles),
+				f2(float64(ss.Cycles) / float64(res.Cycles)),
+				paper,
+			})
+		}
+		r.Notes = append(r.Notes, "paper: active-wait pool threads degrade the 8-context machine below the 4-context one")
+		return r, nil
+	})
+}
+
+// vprcache: doubling cache size and ports improves the vpr section speedup
+// (paper: 2.47 -> 3.5 for one iteration; overall to 3.0).
+func init() {
+	register("vprcache", func(p Params) (*Result, error) {
+		rng := rngFor(p.Seed+7, 0)
+		in := workloads.GenVPR(rng, p.scaled(48, 12), p.scaled(48, 12), p.scaled(24, 5), 8)
+		r := &Result{
+			ID:     "vprcache",
+			Title:  "vpr proxy: default vs doubled caches+ports",
+			Header: []string{"config", "machine", "cycles", "speedup vs ss(default)"},
+		}
+		ssRes, err := workloads.RunVPR(in, workloads.VariantImperative, cpu.SuperscalarConfig())
+		if err != nil {
+			return nil, err
+		}
+		base := float64(ssRes.Run.Cycles)
+		r.Rows = append(r.Rows, []string{"default", "superscalar", u(ssRes.Run.Cycles), "1.00"})
+		for _, double := range []bool{false, true} {
+			cfg := cpu.SOMTConfig()
+			name := "default"
+			if double {
+				cfg.Hierarchy = mem.DefaultHierarchy().Doubled()
+				name = "2x cache+ports"
+			}
+			res, err := workloads.RunVPR(in, workloads.VariantComponent, cfg)
+			if err != nil {
+				return nil, err
+			}
+			r.Rows = append(r.Rows, []string{name, "somt", u(res.Run.Cycles), f2(base / float64(res.Run.Cycles))})
+		}
+		r.Notes = append(r.Notes, "paper: doubling caches/ports lifts the section speedup from 2.47 to 3.5")
+		return r, nil
+	})
+}
+
+// divlat: the CMP extrapolation — division latencies up to 200 cycles
+// change performance by less than 1% on average.
+func init() {
+	register("divlat", func(p Params) (*Result, error) {
+		rng := rngFor(p.Seed+8, 0)
+		gIn := workloads.GenGraph(rng, p.scaled(1000, 120), 4, 9)
+		qIn := workloads.GenList(rng, workloads.ListUniform, p.scaled(4096, 300))
+		r := &Result{
+			ID:     "divlat",
+			Title:  "division latency sweep (CMP extrapolation, Section 5)",
+			Header: []string{"extra latency", "dijkstra cycles", "quicksort cycles", "dijkstra delta", "quicksort delta"},
+		}
+		var base [2]float64
+		for _, lat := range []int{0, 50, 100, 200} {
+			cfg := cpu.SOMTConfig()
+			cfg.DivExtraCycles = lat
+			d, err := workloads.RunDijkstra(gIn, workloads.VariantComponent, cfg)
+			if err != nil {
+				return nil, err
+			}
+			q, err := workloads.RunQuickSort(qIn, workloads.VariantComponent, cfg)
+			if err != nil {
+				return nil, err
+			}
+			if lat == 0 {
+				base[0] = float64(d.Cycles)
+				base[1] = float64(q.Cycles)
+			}
+			r.Rows = append(r.Rows, []string{
+				fmt.Sprintf("%d cycles", lat), u(d.Cycles), u(q.Cycles),
+				pct(float64(d.Cycles)/base[0] - 1), pct(float64(q.Cycles)/base[1] - 1),
+			})
+		}
+		r.Notes = append(r.Notes, "paper: <1% average variation up to 200 cycles (division rate is low)")
+		return r, nil
+	})
+}
+
+// ablations: the design-choice sweeps DESIGN.md calls out.
+func init() {
+	register("ablations", func(p Params) (*Result, error) {
+		rng := rngFor(p.Seed+9, 0)
+		in := workloads.GenGraph(rng, p.scaled(1000, 120), 4, 9)
+		r := &Result{
+			ID:     "ablations",
+			Title:  "design-choice ablations (Dijkstra component workload)",
+			Header: []string{"knob", "value", "cycles", "grants", "deaths"},
+		}
+		addRun := func(knob, val string, cfg cpu.Config) error {
+			res, err := workloads.RunDijkstra(in, workloads.VariantComponent, cfg)
+			if err != nil {
+				return err
+			}
+			r.Rows = append(r.Rows, []string{knob, val, u(res.Cycles), u(res.Stats.DivGranted), u(res.Stats.Deaths)})
+			return nil
+		}
+		for _, w := range []int{32, 128, 512} {
+			cfg := cpu.SOMTConfig()
+			cfg.DeathWindow = w
+			if err := addRun("death window", fmt.Sprintf("%d", w), cfg); err != nil {
+				return nil, err
+			}
+		}
+		for _, d := range []int{8, 16, 32} {
+			cfg := cpu.SOMTConfig()
+			cfg.StackEntries = d
+			if err := addRun("stack entries", fmt.Sprintf("%d", d), cfg); err != nil {
+				return nil, err
+			}
+		}
+		for _, pol := range []cpu.Policy{cpu.PolicyGreedy, cpu.PolicyStatic, cpu.PolicyDeny} {
+			cfg := cpu.SOMTConfig()
+			cfg.DivisionPolicy = pol
+			if pol == cpu.PolicyDeny {
+				cfg.EnableDivision = false
+			}
+			if err := addRun("policy", pol.String(), cfg); err != nil {
+				return nil, err
+			}
+		}
+		for _, rc := range []int{4, 8, 31} {
+			cfg := cpu.SOMTConfig()
+			cfg.RegCopyCycles = rc
+			if err := addRun("regcopy cycles", fmt.Sprintf("%d", rc), cfg); err != nil {
+				return nil, err
+			}
+		}
+		for _, rr := range []bool{false, true} {
+			cfg := cpu.SOMTConfig()
+			cfg.RoundRobinFetch = rr
+			name := "icount"
+			if rr {
+				name = "round-robin"
+			}
+			if err := addRun("fetch policy", name, cfg); err != nil {
+				return nil, err
+			}
+		}
+		return r, nil
+	})
+}

@@ -1,0 +1,393 @@
+// Package isa defines the instruction set of the CAPSULE reproduction: a
+// 64-bit RISC-style ISA augmented with the paper's component instructions
+// (nthr, kthr, mlock, munlock) and the group-count extension (tcnt, join).
+//
+// The ISA is deliberately close to the Alpha subset the paper's GCC-based
+// toolchain would have emitted: 31 general integer registers plus a zero
+// register, 31 floating-point registers, fixed 4-byte instruction slots for
+// I-cache purposes, and simple reg/reg and reg/imm operations. Instructions
+// are represented structurally (no binary encoding) because the simulator
+// consumes decoded instructions directly.
+package isa
+
+import "fmt"
+
+// InstBytes is the architectural size of one instruction slot. The
+// instruction cache models fetch in terms of this size (8 instructions per
+// 32-byte line, as in the paper's fetch description).
+const InstBytes = 4
+
+// WordBytes is the architectural word size.
+const WordBytes = 8
+
+// NumIntRegs and NumFPRegs give the architectural register file sizes.
+// Register 0 of the integer file is hardwired to zero, so there are 31
+// writable integer registers and 31 writable FP registers plus the PC — the
+// 62 registers + PC that the paper copies on division and swaps to the
+// context stack.
+const (
+	NumIntRegs = 32
+	NumFPRegs  = 32
+)
+
+// Reg is an architectural register number. Integer registers are 0..31;
+// floating-point registers are also numbered 0..31 but live in a separate
+// file (the instruction opcode determines which file an operand names).
+type Reg uint8
+
+// ABI register assignments. CapC-generated code and the capsule runtime
+// follow this convention.
+const (
+	RegZero Reg = 0 // hardwired zero
+	RegA0   Reg = 1 // first argument / return value
+	RegA1   Reg = 2
+	RegA2   Reg = 3
+	RegA3   Reg = 4
+	RegA4   Reg = 5
+	RegA5   Reg = 6
+	RegA6   Reg = 7
+	RegA7   Reg = 8 // last argument register
+	RegT0   Reg = 9 // caller-saved temporaries t0..t11 = r9..r20
+	RegT11  Reg = 20
+	RegS0   Reg = 21 // callee-saved s0..s6 = r21..r27
+	RegS6   Reg = 27
+	RegGP   Reg = 28 // global pointer (reserved, currently unused)
+	RegRA   Reg = 29 // return address
+	RegSP   Reg = 30 // stack pointer
+	RegTP   Reg = 31 // thread pointer (capsule runtime scratch)
+)
+
+// intRegNames maps integer registers to their ABI names.
+var intRegNames = [NumIntRegs]string{
+	"zero", "a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7",
+	"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "t10", "t11",
+	"s0", "s1", "s2", "s3", "s4", "s5", "s6",
+	"gp", "ra", "sp", "tp",
+}
+
+// IntRegName returns the ABI name of integer register r.
+func IntRegName(r Reg) string {
+	if int(r) < len(intRegNames) {
+		return intRegNames[r]
+	}
+	return fmt.Sprintf("r%d", r)
+}
+
+// FPRegName returns the name of floating-point register r.
+func FPRegName(r Reg) string { return fmt.Sprintf("f%d", r) }
+
+// IntRegByName resolves an ABI register name ("a0", "sp", "r17", ...) to a
+// register number. The second result reports whether the name is known.
+func IntRegByName(name string) (Reg, bool) {
+	for i, n := range intRegNames {
+		if n == name {
+			return Reg(i), true
+		}
+	}
+	var r int
+	if _, err := fmt.Sscanf(name, "r%d", &r); err == nil && r >= 0 && r < NumIntRegs {
+		return Reg(r), true
+	}
+	return 0, false
+}
+
+// FPRegByName resolves "f0".."f31".
+func FPRegByName(name string) (Reg, bool) {
+	var r int
+	if _, err := fmt.Sscanf(name, "f%d", &r); err == nil && r >= 0 && r < NumFPRegs {
+		return Reg(r), true
+	}
+	return 0, false
+}
+
+// Op enumerates the instruction opcodes.
+type Op uint8
+
+// Opcode space. The groups matter to the timing model: it maps each opcode
+// to a functional-unit class and latency via Class().
+const (
+	OpInvalid Op = iota
+
+	// Integer register-register ALU.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpSll
+	OpSrl
+	OpSra
+	OpSlt
+	OpSltu
+
+	// Integer register-immediate ALU.
+	OpAddi
+	OpAndi
+	OpOri
+	OpXori
+	OpSlli
+	OpSrli
+	OpSrai
+	OpSlti
+	OpLui // rd = imm << 16 (used with Ori to build constants)
+
+	// Memory.
+	OpLd // load 64-bit word
+	OpSd // store 64-bit word
+	OpLb // load byte (zero-extended)
+	OpSb // store byte
+	OpFld
+	OpFsd
+
+	// Control flow. Target is an instruction index (resolved by the linker).
+	OpBeq
+	OpBne
+	OpBlt
+	OpBge
+	OpBltu
+	OpBgeu
+	OpJ    // unconditional jump
+	OpJal  // jump and link (rd = return PC), direct target
+	OpJalr // jump and link register (target = rs1 + imm)
+
+	// Floating point (operands in the FP file).
+	OpFadd
+	OpFsub
+	OpFmul
+	OpFdiv
+	OpFsqrt
+	OpFneg
+	OpFlt // rd(int) = fs1 < fs2
+	OpFle
+	OpFeq
+	OpFcvtIF // fd = float64(rs1)
+	OpFcvtFI // rd = int64(fs1), truncating
+	OpFmvIF  // fd = bits(rs1)  (raw move int file -> fp file)
+	OpFmvFI  // rd = bits(fs1)  (raw move fp file -> int file)
+
+	// CAPSULE component instructions (Section 3.1 of the paper).
+	OpNthr    // rd = -1 denied, 0 parent, 1 child; child resumes after nthr
+	OpKthr    // terminate this worker thread
+	OpMlock   // acquire hardware lock on address in rs1 (stalls if held)
+	OpMunlock // release hardware lock on address in rs1
+	OpTcnt    // rd = live thread count of this worker's group (extension)
+	OpJoin    // stall until this worker's group live count == 1 (extension)
+
+	// Simulator services.
+	OpHalt  // stop the whole machine (program exit)
+	OpPrint // debug print of rs1 (written to the machine's output buffer)
+	OpNop
+
+	opMax
+)
+
+// Class is the functional-unit class an instruction executes on.
+type Class uint8
+
+const (
+	ClassIALU Class = iota
+	ClassIMult
+	ClassFPALU
+	ClassFPMult
+	ClassMem
+	ClassCtrl // branches and jumps execute on the IALU pool
+	ClassSys  // nthr/kthr/locks/halt: single-issue system class
+)
+
+// instMeta captures static properties of an opcode.
+type instMeta struct {
+	name    string
+	class   Class
+	latency int  // execution latency in cycles (memory ops: address gen only)
+	branch  bool // conditional branch
+	jump    bool // unconditional control transfer
+	load    bool
+	store   bool
+	fp      bool // results/operands in the FP file (see opFPOperands)
+}
+
+var meta = [opMax]instMeta{
+	OpInvalid: {name: "invalid", class: ClassIALU, latency: 1},
+
+	OpAdd:  {name: "add", class: ClassIALU, latency: 1},
+	OpSub:  {name: "sub", class: ClassIALU, latency: 1},
+	OpMul:  {name: "mul", class: ClassIMult, latency: 3},
+	OpDiv:  {name: "div", class: ClassIMult, latency: 12},
+	OpRem:  {name: "rem", class: ClassIMult, latency: 12},
+	OpAnd:  {name: "and", class: ClassIALU, latency: 1},
+	OpOr:   {name: "or", class: ClassIALU, latency: 1},
+	OpXor:  {name: "xor", class: ClassIALU, latency: 1},
+	OpSll:  {name: "sll", class: ClassIALU, latency: 1},
+	OpSrl:  {name: "srl", class: ClassIALU, latency: 1},
+	OpSra:  {name: "sra", class: ClassIALU, latency: 1},
+	OpSlt:  {name: "slt", class: ClassIALU, latency: 1},
+	OpSltu: {name: "sltu", class: ClassIALU, latency: 1},
+
+	OpAddi: {name: "addi", class: ClassIALU, latency: 1},
+	OpAndi: {name: "andi", class: ClassIALU, latency: 1},
+	OpOri:  {name: "ori", class: ClassIALU, latency: 1},
+	OpXori: {name: "xori", class: ClassIALU, latency: 1},
+	OpSlli: {name: "slli", class: ClassIALU, latency: 1},
+	OpSrli: {name: "srli", class: ClassIALU, latency: 1},
+	OpSrai: {name: "srai", class: ClassIALU, latency: 1},
+	OpSlti: {name: "slti", class: ClassIALU, latency: 1},
+	OpLui:  {name: "lui", class: ClassIALU, latency: 1},
+
+	OpLd:  {name: "ld", class: ClassMem, latency: 1, load: true},
+	OpSd:  {name: "sd", class: ClassMem, latency: 1, store: true},
+	OpLb:  {name: "lb", class: ClassMem, latency: 1, load: true},
+	OpSb:  {name: "sb", class: ClassMem, latency: 1, store: true},
+	OpFld: {name: "fld", class: ClassMem, latency: 1, load: true, fp: true},
+	OpFsd: {name: "fsd", class: ClassMem, latency: 1, store: true, fp: true},
+
+	OpBeq:  {name: "beq", class: ClassCtrl, latency: 1, branch: true},
+	OpBne:  {name: "bne", class: ClassCtrl, latency: 1, branch: true},
+	OpBlt:  {name: "blt", class: ClassCtrl, latency: 1, branch: true},
+	OpBge:  {name: "bge", class: ClassCtrl, latency: 1, branch: true},
+	OpBltu: {name: "bltu", class: ClassCtrl, latency: 1, branch: true},
+	OpBgeu: {name: "bgeu", class: ClassCtrl, latency: 1, branch: true},
+	OpJ:    {name: "j", class: ClassCtrl, latency: 1, jump: true},
+	OpJal:  {name: "jal", class: ClassCtrl, latency: 1, jump: true},
+	OpJalr: {name: "jalr", class: ClassCtrl, latency: 1, jump: true},
+
+	OpFadd:   {name: "fadd", class: ClassFPALU, latency: 2, fp: true},
+	OpFsub:   {name: "fsub", class: ClassFPALU, latency: 2, fp: true},
+	OpFmul:   {name: "fmul", class: ClassFPMult, latency: 4, fp: true},
+	OpFdiv:   {name: "fdiv", class: ClassFPMult, latency: 12, fp: true},
+	OpFsqrt:  {name: "fsqrt", class: ClassFPMult, latency: 18, fp: true},
+	OpFneg:   {name: "fneg", class: ClassFPALU, latency: 1, fp: true},
+	OpFlt:    {name: "flt", class: ClassFPALU, latency: 2, fp: true},
+	OpFle:    {name: "fle", class: ClassFPALU, latency: 2, fp: true},
+	OpFeq:    {name: "feq", class: ClassFPALU, latency: 2, fp: true},
+	OpFcvtIF: {name: "fcvt.d.l", class: ClassFPALU, latency: 2, fp: true},
+	OpFcvtFI: {name: "fcvt.l.d", class: ClassFPALU, latency: 2, fp: true},
+	OpFmvIF:  {name: "fmv.d.x", class: ClassFPALU, latency: 1, fp: true},
+	OpFmvFI:  {name: "fmv.x.d", class: ClassFPALU, latency: 1, fp: true},
+
+	OpNthr:    {name: "nthr", class: ClassSys, latency: 1},
+	OpKthr:    {name: "kthr", class: ClassSys, latency: 1},
+	OpMlock:   {name: "mlock", class: ClassSys, latency: 1},
+	OpMunlock: {name: "munlock", class: ClassSys, latency: 1},
+	OpTcnt:    {name: "tcnt", class: ClassSys, latency: 1},
+	OpJoin:    {name: "join", class: ClassSys, latency: 1},
+
+	OpHalt:  {name: "halt", class: ClassSys, latency: 1},
+	OpPrint: {name: "print", class: ClassSys, latency: 1},
+	OpNop:   {name: "nop", class: ClassIALU, latency: 1},
+}
+
+// Name returns the assembler mnemonic for op.
+func (op Op) Name() string { return meta[op].name }
+
+// Class returns the functional-unit class.
+func (op Op) Class() Class { return meta[op].class }
+
+// Latency returns the execution latency in cycles. Loads add cache latency
+// on top.
+func (op Op) Latency() int { return meta[op].latency }
+
+// IsBranch reports whether op is a conditional branch.
+func (op Op) IsBranch() bool { return meta[op].branch }
+
+// IsJump reports whether op is an unconditional control transfer.
+func (op Op) IsJump() bool { return meta[op].jump }
+
+// IsControl reports whether op redirects the PC (branch or jump).
+func (op Op) IsControl() bool { return meta[op].branch || meta[op].jump }
+
+// IsLoad reports whether op reads memory.
+func (op Op) IsLoad() bool { return meta[op].load }
+
+// IsStore reports whether op writes memory.
+func (op Op) IsStore() bool { return meta[op].store }
+
+// IsMem reports whether op accesses memory.
+func (op Op) IsMem() bool { return meta[op].load || meta[op].store }
+
+// IsFP reports whether op touches the floating-point register file.
+func (op Op) IsFP() bool { return meta[op].fp }
+
+// Inst is one decoded instruction. PCs and branch targets are instruction
+// indices into the program text (multiply by InstBytes for a byte address).
+type Inst struct {
+	Op   Op
+	Rd   Reg   // destination register (int or fp file depending on Op)
+	Rs1  Reg   // first source
+	Rs2  Reg   // second source
+	Imm  int64 // immediate / memory displacement
+	Targ int32 // control-flow target (instruction index), -1 when unused
+
+	// Sym is the unresolved symbol for Targ or Imm, used by the assembler
+	// and linker; it is empty in fully linked programs.
+	Sym string
+}
+
+// String renders the instruction in assembler syntax.
+func (in Inst) String() string {
+	t := func() string {
+		if in.Sym != "" {
+			return in.Sym
+		}
+		return fmt.Sprintf("%d", in.Targ)
+	}
+	ir, fr := IntRegName, FPRegName
+	switch in.Op {
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpSll, OpSrl, OpSra, OpSlt, OpSltu:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op.Name(), ir(in.Rd), ir(in.Rs1), ir(in.Rs2))
+	case OpAddi, OpAndi, OpOri, OpXori, OpSlli, OpSrli, OpSrai, OpSlti:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op.Name(), ir(in.Rd), ir(in.Rs1), in.Imm)
+	case OpLui:
+		return fmt.Sprintf("lui %s, %d", ir(in.Rd), in.Imm)
+	case OpLd, OpLb:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op.Name(), ir(in.Rd), in.Imm, ir(in.Rs1))
+	case OpSd, OpSb:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op.Name(), ir(in.Rs2), in.Imm, ir(in.Rs1))
+	case OpFld:
+		return fmt.Sprintf("fld %s, %d(%s)", fr(in.Rd), in.Imm, ir(in.Rs1))
+	case OpFsd:
+		return fmt.Sprintf("fsd %s, %d(%s)", fr(in.Rs2), in.Imm, ir(in.Rs1))
+	case OpBeq, OpBne, OpBlt, OpBge, OpBltu, OpBgeu:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op.Name(), ir(in.Rs1), ir(in.Rs2), t())
+	case OpJ:
+		return fmt.Sprintf("j %s", t())
+	case OpJal:
+		return fmt.Sprintf("jal %s, %s", ir(in.Rd), t())
+	case OpJalr:
+		return fmt.Sprintf("jalr %s, %s, %d", ir(in.Rd), ir(in.Rs1), in.Imm)
+	case OpFadd, OpFsub, OpFmul, OpFdiv:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op.Name(), fr(in.Rd), fr(in.Rs1), fr(in.Rs2))
+	case OpFsqrt, OpFneg:
+		return fmt.Sprintf("%s %s, %s", in.Op.Name(), fr(in.Rd), fr(in.Rs1))
+	case OpFlt, OpFle, OpFeq:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op.Name(), ir(in.Rd), fr(in.Rs1), fr(in.Rs2))
+	case OpFcvtIF, OpFmvIF:
+		return fmt.Sprintf("%s %s, %s", in.Op.Name(), fr(in.Rd), ir(in.Rs1))
+	case OpFcvtFI, OpFmvFI:
+		return fmt.Sprintf("%s %s, %s", in.Op.Name(), ir(in.Rd), fr(in.Rs1))
+	case OpNthr, OpTcnt:
+		return fmt.Sprintf("%s %s", in.Op.Name(), ir(in.Rd))
+	case OpMlock, OpMunlock, OpPrint:
+		return fmt.Sprintf("%s %s", in.Op.Name(), ir(in.Rs1))
+	case OpKthr, OpJoin, OpHalt, OpNop:
+		return in.Op.Name()
+	default:
+		return fmt.Sprintf("%s ?", in.Op.Name())
+	}
+}
+
+// OpByName resolves an assembler mnemonic to an opcode.
+func OpByName(name string) (Op, bool) {
+	op, ok := opsByName[name]
+	return op, ok
+}
+
+var opsByName = func() map[string]Op {
+	m := make(map[string]Op, opMax)
+	for op := Op(1); op < opMax; op++ {
+		m[meta[op].name] = op
+	}
+	return m
+}()

@@ -1,0 +1,171 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRegNamesRoundTrip(t *testing.T) {
+	for r := Reg(0); r < NumIntRegs; r++ {
+		name := IntRegName(r)
+		got, ok := IntRegByName(name)
+		if !ok || got != r {
+			t.Fatalf("IntRegByName(%q) = %v, %v; want %v", name, got, ok, r)
+		}
+	}
+	for r := Reg(0); r < NumFPRegs; r++ {
+		name := FPRegName(r)
+		got, ok := FPRegByName(name)
+		if !ok || got != r {
+			t.Fatalf("FPRegByName(%q) = %v, %v; want %v", name, got, ok, r)
+		}
+	}
+}
+
+func TestRegByNameNumeric(t *testing.T) {
+	if r, ok := IntRegByName("r17"); !ok || r != 17 {
+		t.Fatalf("r17 -> %v, %v", r, ok)
+	}
+	if _, ok := IntRegByName("r99"); ok {
+		t.Fatal("r99 should be invalid")
+	}
+	if _, ok := IntRegByName("bogus"); ok {
+		t.Fatal("bogus should be invalid")
+	}
+}
+
+func TestOpByNameRoundTrip(t *testing.T) {
+	for op := Op(1); op < opMax; op++ {
+		got, ok := OpByName(op.Name())
+		if !ok || got != op {
+			t.Fatalf("OpByName(%q) = %v, %v; want %v", op.Name(), got, ok, op)
+		}
+	}
+}
+
+func TestOpClassesCoverAllOps(t *testing.T) {
+	for op := Op(1); op < opMax; op++ {
+		if op.Name() == "" {
+			t.Fatalf("op %d has no name", op)
+		}
+		if op.Latency() <= 0 {
+			t.Fatalf("op %v has non-positive latency", op)
+		}
+	}
+}
+
+func TestBranchJumpPredicates(t *testing.T) {
+	branches := []Op{OpBeq, OpBne, OpBlt, OpBge, OpBltu, OpBgeu}
+	for _, op := range branches {
+		if !op.IsBranch() || op.IsJump() || !op.IsControl() {
+			t.Fatalf("%v should be a conditional branch", op)
+		}
+	}
+	jumps := []Op{OpJ, OpJal, OpJalr}
+	for _, op := range jumps {
+		if op.IsBranch() || !op.IsJump() || !op.IsControl() {
+			t.Fatalf("%v should be an unconditional jump", op)
+		}
+	}
+	if OpAdd.IsControl() || OpLd.IsControl() {
+		t.Fatal("ALU/memory ops are not control")
+	}
+}
+
+func TestMemPredicates(t *testing.T) {
+	if !OpLd.IsLoad() || OpLd.IsStore() {
+		t.Fatal("ld predicates wrong")
+	}
+	if !OpSd.IsStore() || OpSd.IsLoad() {
+		t.Fatal("sd predicates wrong")
+	}
+	if !OpFld.IsMem() || !OpFsd.IsMem() || OpAdd.IsMem() {
+		t.Fatal("IsMem wrong")
+	}
+}
+
+func TestSourcesSkipZeroReg(t *testing.T) {
+	in := Inst{Op: OpAdd, Rd: RegA0, Rs1: RegZero, Rs2: RegA1}
+	srcs := in.Sources(nil)
+	if len(srcs) != 1 || srcs[0] != IntRef(RegA1) {
+		t.Fatalf("sources = %v; want just a1", srcs)
+	}
+}
+
+func TestDestZeroRegSuppressed(t *testing.T) {
+	in := Inst{Op: OpAddi, Rd: RegZero, Rs1: RegA0}
+	if _, ok := in.Dest(); ok {
+		t.Fatal("write to zero register should report no destination")
+	}
+	in = Inst{Op: OpJalr, Rd: RegZero, Rs1: RegRA} // ret
+	if _, ok := in.Dest(); ok {
+		t.Fatal("ret should report no destination")
+	}
+}
+
+func TestStoreSourcesIncludeValue(t *testing.T) {
+	in := Inst{Op: OpSd, Rs1: RegSP, Rs2: RegA0, Imm: 8}
+	srcs := in.Sources(nil)
+	if len(srcs) != 2 {
+		t.Fatalf("store should have 2 sources, got %v", srcs)
+	}
+}
+
+func TestFPSourcesUseFPFile(t *testing.T) {
+	in := Inst{Op: OpFadd, Rd: 1, Rs1: 2, Rs2: 3}
+	srcs := in.Sources(nil)
+	for _, s := range srcs {
+		if !s.FP {
+			t.Fatalf("fadd source %v should be FP", s)
+		}
+	}
+	d, ok := in.Dest()
+	if !ok || !d.FP {
+		t.Fatalf("fadd dest should be FP, got %v %v", d, ok)
+	}
+	cmp := Inst{Op: OpFlt, Rd: RegA0, Rs1: 2, Rs2: 3}
+	d, ok = cmp.Dest()
+	if !ok || d.FP {
+		t.Fatalf("flt dest should be integer, got %v %v", d, ok)
+	}
+}
+
+func TestInstStringStable(t *testing.T) {
+	cases := map[string]Inst{
+		"add a0, a1, a2":   {Op: OpAdd, Rd: RegA0, Rs1: RegA1, Rs2: RegA2},
+		"addi sp, sp, -16": {Op: OpAddi, Rd: RegSP, Rs1: RegSP, Imm: -16},
+		"ld a0, 8(sp)":     {Op: OpLd, Rd: RegA0, Rs1: RegSP, Imm: 8},
+		"sd a0, 8(sp)":     {Op: OpSd, Rs2: RegA0, Rs1: RegSP, Imm: 8},
+		"beq a0, a1, 42":   {Op: OpBeq, Rs1: RegA0, Rs2: RegA1, Targ: 42},
+		"nthr t0":          {Op: OpNthr, Rd: RegT0},
+		"kthr":             {Op: OpKthr},
+		"mlock a0":         {Op: OpMlock, Rs1: RegA0},
+		"halt":             {Op: OpHalt},
+	}
+	for want, in := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("String() = %q; want %q", got, want)
+		}
+	}
+}
+
+// Property: every opcode's Sources/Dest never include the integer zero
+// register, for arbitrary register assignments.
+func TestQuickNoZeroRegDeps(t *testing.T) {
+	f := func(opRaw uint8, rd, rs1, rs2 uint8) bool {
+		op := Op(opRaw%uint8(opMax-1)) + 1
+		in := Inst{Op: op, Rd: Reg(rd % NumIntRegs), Rs1: Reg(rs1 % NumIntRegs), Rs2: Reg(rs2 % NumIntRegs)}
+		for _, s := range in.Sources(nil) {
+			if !s.FP && s.Reg == RegZero {
+				return false
+			}
+		}
+		if d, ok := in.Dest(); ok && !d.FP && d.Reg == RegZero {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,80 @@
+package isa
+
+// RegRef identifies one register operand: the file it lives in and its
+// number. The timing model keys dependence tracking on RegRef.
+type RegRef struct {
+	FP  bool
+	Reg Reg
+}
+
+// IntRef and FPRef are convenience constructors.
+func IntRef(r Reg) RegRef { return RegRef{FP: false, Reg: r} }
+func FPRef(r Reg) RegRef  { return RegRef{FP: true, Reg: r} }
+
+// Sources appends the architectural source registers of in to dst and
+// returns the extended slice. The integer zero register is skipped (it is
+// never a real dependence).
+func (in Inst) Sources(dst []RegRef) []RegRef {
+	addInt := func(r Reg) {
+		if r != RegZero {
+			dst = append(dst, IntRef(r))
+		}
+	}
+	addFP := func(r Reg) { dst = append(dst, FPRef(r)) }
+	switch in.Op {
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpSll, OpSrl, OpSra, OpSlt, OpSltu:
+		addInt(in.Rs1)
+		addInt(in.Rs2)
+	case OpAddi, OpAndi, OpOri, OpXori, OpSlli, OpSrli, OpSrai, OpSlti:
+		addInt(in.Rs1)
+	case OpLui, OpNthr, OpTcnt, OpNop, OpKthr, OpJoin, OpHalt, OpJ:
+		// no register sources
+	case OpLd, OpLb, OpFld:
+		addInt(in.Rs1)
+	case OpSd, OpSb:
+		addInt(in.Rs1)
+		addInt(in.Rs2)
+	case OpFsd:
+		addInt(in.Rs1)
+		addFP(in.Rs2)
+	case OpBeq, OpBne, OpBlt, OpBge, OpBltu, OpBgeu:
+		addInt(in.Rs1)
+		addInt(in.Rs2)
+	case OpJal:
+		// direct call: no sources
+	case OpJalr:
+		addInt(in.Rs1)
+	case OpFadd, OpFsub, OpFmul, OpFdiv, OpFlt, OpFle, OpFeq:
+		addFP(in.Rs1)
+		addFP(in.Rs2)
+	case OpFsqrt, OpFneg, OpFcvtFI, OpFmvFI:
+		addFP(in.Rs1)
+	case OpFcvtIF, OpFmvIF:
+		addInt(in.Rs1)
+	case OpMlock, OpMunlock, OpPrint:
+		addInt(in.Rs1)
+	}
+	return dst
+}
+
+// Dest returns the architectural destination register of in, if any.
+func (in Inst) Dest() (RegRef, bool) {
+	switch in.Op {
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpSll, OpSrl, OpSra, OpSlt, OpSltu,
+		OpAddi, OpAndi, OpOri, OpXori, OpSlli, OpSrli, OpSrai, OpSlti, OpLui,
+		OpLd, OpLb, OpNthr, OpTcnt,
+		OpFlt, OpFle, OpFeq, OpFcvtFI, OpFmvFI:
+		if in.Rd == RegZero {
+			return RegRef{}, false
+		}
+		return IntRef(in.Rd), true
+	case OpJal, OpJalr:
+		if in.Rd == RegZero {
+			return RegRef{}, false
+		}
+		return IntRef(in.Rd), true
+	case OpFld, OpFadd, OpFsub, OpFmul, OpFdiv, OpFsqrt, OpFneg, OpFcvtIF, OpFmvIF:
+		return FPRef(in.Rd), true
+	}
+	return RegRef{}, false
+}

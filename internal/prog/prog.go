@@ -1,0 +1,133 @@
+// Package prog defines the linked program image shared by the assembler,
+// the CapC compiler, the loader and the simulators: an instruction sequence,
+// an initialised data image, and a symbol table.
+package prog
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// Memory layout constants. Text occupies instruction indices (byte address =
+// TextBase + 4*index, used only by the I-cache model); data, heap and stacks
+// share the byte-addressed data memory.
+const (
+	TextBase uint64 = 0x0000_1000
+	DataBase uint64 = 0x0010_0000 // 1 MiB: initialised globals
+	HeapBase uint64 = 0x0200_0000 // 32 MiB: runtime bump allocator
+	HeapTop  uint64 = 0x4000_0000
+	// Worker stacks: a pool of fixed-size stacks below the main stack.
+	StackSize    uint64 = 64 << 10
+	StackPoolNum        = 64
+	StackPoolLow uint64 = 0x6000_0000
+	MainStackTop uint64 = 0x7000_0000
+)
+
+// SymKind distinguishes text from data symbols.
+type SymKind uint8
+
+const (
+	SymText SymKind = iota // Value is an instruction index
+	SymData                // Value is an absolute data address
+)
+
+// Symbol is one entry of the symbol table.
+type Symbol struct {
+	Kind  SymKind
+	Value int64
+}
+
+// Program is a fully linked executable image.
+type Program struct {
+	Insts   []isa.Inst
+	Data    []byte // initialised image, loaded at DataBase
+	Symbols map[string]Symbol
+	Entry   int32 // instruction index of _start
+}
+
+// PCByteAddr converts an instruction index to its I-cache byte address.
+func PCByteAddr(pc int32) uint64 { return TextBase + uint64(pc)*isa.InstBytes }
+
+// Sym looks a symbol up, returning an error naming the symbol when missing.
+func (p *Program) Sym(name string) (Symbol, error) {
+	s, ok := p.Symbols[name]
+	if !ok {
+		return Symbol{}, fmt.Errorf("prog: unknown symbol %q", name)
+	}
+	return s, nil
+}
+
+// DataAddr returns the absolute address of a data symbol.
+func (p *Program) DataAddr(name string) (uint64, error) {
+	s, err := p.Sym(name)
+	if err != nil {
+		return 0, err
+	}
+	if s.Kind != SymData {
+		return 0, fmt.Errorf("prog: symbol %q is not a data symbol", name)
+	}
+	return uint64(s.Value), nil
+}
+
+// TextAddr returns the instruction index of a text symbol.
+func (p *Program) TextAddr(name string) (int32, error) {
+	s, err := p.Sym(name)
+	if err != nil {
+		return 0, err
+	}
+	if s.Kind != SymText {
+		return 0, fmt.Errorf("prog: symbol %q is not a text symbol", name)
+	}
+	return int32(s.Value), nil
+}
+
+// FuncAt returns the name of the text symbol covering instruction index pc,
+// for traces and disassembly. Returns "" when no symbol precedes pc.
+func (p *Program) FuncAt(pc int32) string {
+	type ts struct {
+		name string
+		at   int32
+	}
+	var syms []ts
+	for n, s := range p.Symbols {
+		if s.Kind == SymText {
+			syms = append(syms, ts{n, int32(s.Value)})
+		}
+	}
+	sort.Slice(syms, func(i, j int) bool { return syms[i].at < syms[j].at })
+	name := ""
+	for _, s := range syms {
+		if s.at > pc {
+			break
+		}
+		name = s.name
+	}
+	return name
+}
+
+// Disassemble renders instructions lo..hi (clamped) with addresses, for
+// debugging output and the capc -S tool.
+func (p *Program) Disassemble(lo, hi int) string {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(p.Insts) {
+		hi = len(p.Insts)
+	}
+	byIdx := make(map[int32][]string)
+	for n, s := range p.Symbols {
+		if s.Kind == SymText {
+			byIdx[int32(s.Value)] = append(byIdx[int32(s.Value)], n)
+		}
+	}
+	out := ""
+	for i := lo; i < hi; i++ {
+		for _, n := range byIdx[int32(i)] {
+			out += n + ":\n"
+		}
+		out += fmt.Sprintf("%6d\t%s\n", i, p.Insts[i].String())
+	}
+	return out
+}

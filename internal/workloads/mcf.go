@@ -1,0 +1,229 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/prog"
+)
+
+// MCF is the 181.mcf proxy. In the paper "the component replaces a
+// sequential tree traversal (for route planning) with a parallel tree
+// search", with division tested at every tree node (the highest division
+// rate in Table 3), and the componentised section covers ~45% of execution.
+//
+// The proxy searches a binary cost tree for the cheapest root-to-leaf path
+// (the route-planning kernel) and embeds it in a pointer-chasing sequential
+// remainder (mcf is memory-latency-bound), sized so the component section
+// is roughly the paper's share of superscalar execution time.
+
+// MCFInput is one instance.
+type MCFInput struct {
+	// Binary tree in arrays; Left/Right are child ids or -1.
+	Left, Right []int32
+	Cost        []int64
+	// Sequential part: a shuffled singly linked list walked SeqRounds
+	// times.
+	ListNext  []int32
+	ListVal   []int64
+	SeqRounds int
+}
+
+// GenMCF generates a random tree with the given number of internal levels
+// (not necessarily complete) and a shuffled list for the sequential phase.
+func GenMCF(rng *rand.Rand, nodes, listLen, seqRounds int) *MCFInput {
+	in := &MCFInput{SeqRounds: seqRounds}
+	in.Left = make([]int32, nodes)
+	in.Right = make([]int32, nodes)
+	in.Cost = make([]int64, nodes)
+	for i := 0; i < nodes; i++ {
+		in.Cost[i] = int64(1 + rng.Intn(100))
+		l, r := 2*i+1, 2*i+2
+		if l < nodes && rng.Intn(8) != 0 {
+			in.Left[i] = int32(l)
+		} else {
+			in.Left[i] = -1
+		}
+		if r < nodes && in.Left[i] >= 0 && rng.Intn(8) != 0 {
+			in.Right[i] = int32(r)
+		} else {
+			in.Right[i] = -1
+		}
+		if in.Left[i] < 0 {
+			in.Right[i] = -1 // leaves have no children at all
+		}
+	}
+	// Shuffled circular-ish list.
+	perm := rng.Perm(listLen)
+	in.ListNext = make([]int32, listLen)
+	in.ListVal = make([]int64, listLen)
+	for i := 0; i < listLen; i++ {
+		in.ListNext[perm[i]] = int32(perm[(i+1)%listLen])
+		in.ListVal[i] = int64(rng.Intn(1000))
+	}
+	return in
+}
+
+// RefMCF returns (best path cost, sequential checksum).
+func RefMCF(in *MCFInput) (int64, int64) {
+	var walk func(n int32, acc int64) int64
+	walk = func(n int32, acc int64) int64 {
+		acc += in.Cost[n]
+		if in.Left[n] < 0 {
+			return acc
+		}
+		best := walk(in.Left[n], acc)
+		if in.Right[n] >= 0 {
+			if r := walk(in.Right[n], acc); r < best {
+				best = r
+			}
+		}
+		return best
+	}
+	best := walk(0, 0)
+
+	var sum int64
+	p := int32(0)
+	for r := 0; r < in.SeqRounds*len(in.ListNext); r++ {
+		sum += in.ListVal[p]
+		sum ^= sum << 3
+		p = in.ListNext[p]
+	}
+	return best, sum
+}
+
+func mcfSrc(variant Variant, maxNodes, maxList int) string {
+	common := fmt.Sprintf(`
+const MAXN = %d;
+const MAXL = %d;
+const INF = %d;
+var nnodes;
+var left[MAXN];
+var right[MAXN];
+var cost[MAXN];
+var best;
+var listlen;
+var seqrounds;
+var lnext[MAXL];
+var lval[MAXL];
+var checksum;
+const MARKSTART = %d;
+const MARKEND = %d;
+
+func seqphase() {
+	var sum = 0;
+	var p = 0;
+	var r = seqrounds * listlen;
+	while (r > 0) {
+		sum = sum + lval[p];
+		sum = sum ^ (sum << 3);
+		p = lnext[p];
+		r = r - 1;
+	}
+	checksum = sum;
+	return 0;
+}
+`, maxNodes, maxList, DijkstraInf, core.MarkSectionStart, core.MarkSectionEnd)
+
+	tree := `
+%[1]s tmin(node, acc) {
+	while (1) {
+		acc = acc + cost[node];
+		var l = left[node];
+		if (l < 0) {
+			lock(&best);
+			if (acc < best) { best = acc; }
+			unlock(&best);
+			return 0;
+		}
+		var r = right[node];
+		if (r >= 0) {
+			%[2]s
+		}
+		node = l;
+	}
+	return 0;
+}
+
+func main() {
+	best = INF;
+	seqphase();
+	print(MARKSTART);
+	tmin(0, 0);
+	%[3]s
+	print(MARKEND);
+	print(best);
+	print(checksum);
+}
+`
+	if variant == VariantComponent {
+		return common + fmt.Sprintf(tree, "worker",
+			"coworker tmin(r, acc);", // division tested at every tree node
+			"join();")
+	}
+	return common + fmt.Sprintf(tree, "func", "tmin(r, acc);", "")
+}
+
+// MCFProgram compiles (cached) the requested variant.
+func MCFProgram(variant Variant, maxNodes, maxList int) (*prog.Program, error) {
+	key := fmt.Sprintf("mcf-%s-%d-%d", variant, maxNodes, maxList)
+	return cachedBuild(key, func() string { return mcfSrc(variant, maxNodes, maxList) })
+}
+
+// PatchMCF writes the instance into a fresh image.
+func PatchMCF(p *prog.Program, in *MCFInput) (*prog.Program, error) {
+	im := core.NewImage(p)
+	if err := im.SetWord("g_nnodes", 0, int64(len(in.Left))); err != nil {
+		return nil, err
+	}
+	if err := im.SetWord("g_listlen", 0, int64(len(in.ListNext))); err != nil {
+		return nil, err
+	}
+	if err := im.SetWord("g_seqrounds", 0, int64(in.SeqRounds)); err != nil {
+		return nil, err
+	}
+	for i := range in.Left {
+		if err := im.SetWord("g_left", i, int64(in.Left[i])); err != nil {
+			return nil, err
+		}
+		if err := im.SetWord("g_right", i, int64(in.Right[i])); err != nil {
+			return nil, err
+		}
+		if err := im.SetWord("g_cost", i, in.Cost[i]); err != nil {
+			return nil, err
+		}
+	}
+	for i := range in.ListNext {
+		if err := im.SetWord("g_lnext", i, int64(in.ListNext[i])); err != nil {
+			return nil, err
+		}
+		if err := im.SetWord("g_lval", i, in.ListVal[i]); err != nil {
+			return nil, err
+		}
+	}
+	return im.Program(), nil
+}
+
+// RunMCF simulates and validates one instance.
+func RunMCF(in *MCFInput, variant Variant, cfg cpu.Config) (*core.RunResult, error) {
+	base, err := MCFProgram(variant, capRound(len(in.Left)), capRound(len(in.ListNext)))
+	if err != nil {
+		return nil, err
+	}
+	p, err := PatchMCF(base, in)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.RunTiming(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	wantBest, wantSum := RefMCF(in)
+	out := res.UserOutput()
+	if len(out) != 2 || out[0] != wantBest || out[1] != wantSum {
+		return nil, fmt.Errorf("mcf: output = %v, want [%d %d]", out, wantBest, wantSum)
+	}
+	return res, nil
+}

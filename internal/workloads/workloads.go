@@ -1,0 +1,72 @@
+// Package workloads implements the paper's benchmark suite: the four core
+// algorithms written as component (CapC) programs — Dijkstra, QuickSort,
+// LZW and Perceptron — and synthetic proxies for the four re-engineered
+// SPEC CINT2000 programs (181.mcf, 175.vpr, 256.bzip2, 186.crafty), each
+// with input generators, Go reference implementations for validation, and
+// baseline (imperative) variants for the superscalar comparison.
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/prog"
+)
+
+// Variant selects which program text a workload compiles.
+type Variant uint8
+
+const (
+	// VariantComponent is the CapC component version (coworker divisions).
+	VariantComponent Variant = iota
+	// VariantImperative is the baseline sequential implementation the
+	// paper runs on the superscalar.
+	VariantImperative
+)
+
+func (v Variant) String() string {
+	if v == VariantComponent {
+		return "component"
+	}
+	return "imperative"
+}
+
+// buildCache memoises compiled programs by (workload, variant, size key):
+// experiments run hundreds of data sets against the same binary.
+var buildCache sync.Map
+
+func cachedBuild(key string, src func() string) (*prog.Program, error) {
+	if p, ok := buildCache.Load(key); ok {
+		return p.(*prog.Program), nil
+	}
+	b, err := core.BuildCapC(key, src())
+	if err != nil {
+		return nil, fmt.Errorf("workloads: build %s: %w", key, err)
+	}
+	buildCache.Store(key, b.Program)
+	return b.Program, nil
+}
+
+// Arch bundles a named machine configuration for experiments.
+type Arch struct {
+	Name string
+	Cfg  cpu.Config
+}
+
+// PaperArchs returns the paper's three machines: superscalar (imperative
+// baseline), statically parallelised SMT, and SOMT with dynamic division.
+func PaperArchs() []Arch {
+	return []Arch{
+		{Name: "superscalar", Cfg: cpu.SuperscalarConfig()},
+		{Name: "smt-static", Cfg: cpu.SMTStaticConfig()},
+		{Name: "somt", Cfg: cpu.SOMTConfig()},
+	}
+}
+
+// rngFor derives a deterministic generator for (experiment, index).
+func rngFor(seed int64, idx int) *rand.Rand {
+	return rand.New(rand.NewSource(seed*1_000_003 + int64(idx)*7919 + 17))
+}

@@ -1,0 +1,100 @@
+// Package repro is the public API of the CAPSULE reproduction: a
+// hardware/software co-design for conditionally dividing component programs
+// (Palatin, Lhuillier, Temam, "CAPSULE: Hardware-Assisted Parallel
+// Execution of Component-Based Programs", MICRO-39, 2006), rebuilt as a
+// self-contained Go system.
+//
+// The pieces, bottom to top:
+//
+//   - a 64-bit RISC ISA with the paper's component instructions
+//     (nthr/kthr/mlock/munlock) — internal/isa;
+//   - an assembler/linker — internal/asm — and the CapC compiler
+//     (component-C with `worker` functions and `coworker` conditional
+//     division) — internal/capc;
+//   - the capsule runtime (worker stack pool, heap) — internal/core;
+//   - a cycle-level out-of-order SMT timing model with the SOMT extensions:
+//     division with death-rate throttling, a LIFO context stack with
+//     latency-driven swapping, and the fast lock table — internal/cpu;
+//   - the paper's benchmark suite and SPEC CINT2000 proxies —
+//     internal/workloads — and every table/figure regenerator —
+//     internal/exp.
+//
+// This package re-exports the surface a downstream user needs: compile a
+// CapC program, pick one of the paper's machines, run it, and inspect
+// cycles and CAPSULE statistics.
+package repro
+
+import (
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/exp"
+	"repro/internal/prog"
+)
+
+// Program is a linked executable image.
+type Program = prog.Program
+
+// Config is a machine configuration; Stats the counters of one run.
+type (
+	Config = cpu.Config
+	Stats  = cpu.Stats
+)
+
+// RunResult is one timing-simulation outcome.
+type RunResult = core.RunResult
+
+// Machine configurations of the paper's three processors.
+func SOMT() Config        { return cpu.SOMTConfig() }
+func SMT() Config         { return cpu.SMTConfig() }
+func SMTStatic() Config   { return cpu.SMTStaticConfig() }
+func Superscalar() Config { return cpu.SuperscalarConfig() }
+
+// CompileCapC compiles CapC source and links the capsule runtime, returning
+// a runnable program.
+func CompileCapC(name, src string) (*Program, error) {
+	b, err := core.BuildCapC(name, src)
+	if err != nil {
+		return nil, err
+	}
+	return b.Program, nil
+}
+
+// CompileCapCListing compiles and also returns the generated assembly and
+// the Fig. 2(b)-style pre-processed listing.
+func CompileCapCListing(name, src string) (p *Program, asmText, preprocessed string, err error) {
+	b, err := core.BuildCapC(name, src)
+	if err != nil {
+		return nil, "", "", err
+	}
+	return b.Program, b.Compiled.Asm, b.Compiled.PreProcessed, nil
+}
+
+// Assemble links raw assembly units (plus the capsule runtime).
+func Assemble(name, src string) (*Program, error) {
+	return core.BuildAsm(asm.Unit{Name: name, Text: src})
+}
+
+// Run simulates p to completion on cfg.
+func Run(p *Program, cfg Config) (*RunResult, error) { return core.RunTiming(p, cfg) }
+
+// RunTraced additionally records division events (for Fig. 6-style trees).
+func RunTraced(p *Program, cfg Config) (*RunResult, error) { return core.RunTimingTraced(p, cfg) }
+
+// Experiment regenerates one of the paper's tables/figures by id (fig3,
+// fig5, fig6, fig7, fig8, table1, table2, table3, crafty48, vprcache,
+// divlat, ablations); quick trades input scale for runtime.
+func Experiment(id string, quick bool) (string, error) {
+	p := exp.Full()
+	if quick {
+		p = exp.Quick()
+	}
+	r, err := exp.Run(id, p)
+	if err != nil {
+		return "", err
+	}
+	return r.Render(), nil
+}
+
+// Experiments lists the available experiment ids.
+func Experiments() []string { return exp.IDs() }
