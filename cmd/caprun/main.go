@@ -1,0 +1,69 @@
+// Command caprun runs one workload natively on the goroutine capsule
+// runtime (internal/capsule) and prints wall time and CAPSULE statistics.
+// It is the native-execution twin of cmd/capsim: same workload names,
+// same input generators, same -n/-seed meaning — but real parallel
+// execution instead of cycle-level simulation.
+//
+// Usage:
+//
+//	caprun -workload dijkstra -n 2000 -seed 7
+//	caprun -workload quicksort -n 100000 -workers 4
+//	caprun -workload lzw -n 65536 -stats
+//	caprun -workload perceptron -n 4096 -throttle=false
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/capsule"
+	"repro/internal/workloads"
+)
+
+func main() {
+	workload := flag.String("workload", "dijkstra", strings.Join(workloads.NativeNames(), "|"))
+	n := flag.Int("n", 2000, "input size (nodes/elements/chars/neurons)")
+	seed := flag.Int64("seed", 1, "input seed")
+	workers := flag.Int("workers", 0, "context pool size (0 = GOMAXPROCS)")
+	throttle := flag.Bool("throttle", true, "death-rate division throttling")
+	window := flag.Duration("window", 100*time.Microsecond, "death-rate window")
+	stats := flag.Bool("stats", false, "print full statistics")
+	flag.Parse()
+
+	if *n <= 0 {
+		fail("-n must be > 0 (got %d)", *n)
+	}
+
+	rt := capsule.New(capsule.Config{
+		Contexts:    *workers,
+		Throttle:    *throttle,
+		DeathWindow: *window,
+	})
+
+	res, err := workloads.RunNative(rt, *workload, *n, *seed)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	s := res.Stats
+	fmt.Printf("workload=%s n=%d seed=%d workers=%d gomaxprocs=%d\n",
+		*workload, *n, *seed, rt.Contexts(), runtime.GOMAXPROCS(0))
+	fmt.Printf("result: %s (validated against Go reference)\n", res.Output)
+	fmt.Printf("elapsed=%s\n", res.Elapsed)
+	fmt.Printf("divisions: probes=%d granted=%d (%.0f%%) inline=%d\n",
+		s.Probes, s.Granted, 100*s.GrantRate(), s.InlineRuns)
+	if *stats {
+		fmt.Printf("denies: no-ctx=%d throttle=%d\n", s.NoCtxDenies, s.ThrottleDenies)
+		fmt.Printf("workers: total=%d peak=%d deaths=%d\n", s.TotalWorkers, s.PeakWorkers, s.Deaths)
+		fmt.Printf("locks: acquires=%d\n", s.LockAcquires)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "caprun: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -13,19 +13,31 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/workloads"
 )
 
+// knownWorkloads and knownArchs drive both the flag help and the error
+// messages, so a typo tells the user what would have worked.
+var (
+	knownWorkloads = []string{"dijkstra", "quicksort", "lzw", "perceptron", "mcf", "vpr", "bzip2", "crafty"}
+	knownArchs     = []string{"somt", "smt", "smt-static", "superscalar"}
+)
+
 func main() {
-	workload := flag.String("workload", "dijkstra", "dijkstra|quicksort|lzw|perceptron|mcf|vpr|bzip2|crafty")
-	arch := flag.String("arch", "somt", "somt|smt|smt-static|superscalar")
-	n := flag.Int("n", 200, "input size (nodes/elements/chars/neurons)")
+	workload := flag.String("workload", "dijkstra", strings.Join(knownWorkloads, "|"))
+	arch := flag.String("arch", "somt", strings.Join(knownArchs, "|"))
+	n := flag.Int("n", 200, "input size (nodes/elements/chars/neurons), must be > 0")
 	seed := flag.Int64("seed", 1, "input seed")
 	stats := flag.Bool("stats", false, "print full statistics")
 	flag.Parse()
+
+	if *n <= 0 {
+		fail("-n must be > 0 (got %d)", *n)
+	}
 
 	var cfg cpu.Config
 	variant := workloads.VariantComponent
@@ -40,7 +52,7 @@ func main() {
 		cfg = cpu.SuperscalarConfig()
 		variant = workloads.VariantImperative
 	default:
-		fail("unknown arch %q", *arch)
+		fail("unknown arch %q (known: %s)", *arch, strings.Join(knownArchs, ", "))
 	}
 
 	rng := rand.New(rand.NewSource(*seed))
@@ -70,7 +82,7 @@ func main() {
 			fmt.Printf("iterations: %d (converged=%v)\n", vres.Iterations, vres.Converged)
 		}
 	default:
-		fail("unknown workload %q", *workload)
+		fail("unknown workload %q (known: %s)", *workload, strings.Join(knownWorkloads, ", "))
 	}
 	if err != nil {
 		fail("%v", err)

@@ -1,0 +1,372 @@
+// Package capsule is the native software port of the paper's probe/divide
+// protocol: the conditional-division runtime that internal/cpu models at
+// cycle level, re-implemented on real goroutines so component programs can
+// run at hardware speed.
+//
+// The mapping from the SOMT hardware to this runtime:
+//
+//   - hardware contexts     → a bounded pool of context tokens (default
+//     GOMAXPROCS), so a probe succeeds only when a "hardware context" is
+//     free — exactly the paper's resource-aware division condition;
+//   - nthr (probe+divide)   → Probe/Spawn, or the fused Divide/TryDivide;
+//   - kthr (worker death)   → token release when the worker function
+//     returns, recorded in the death-rate window;
+//   - division throttling   → a rolling window of recent worker deaths;
+//     when deaths in the window reach half the context count, further
+//     probes are denied (Section 3.1's death-rate throttle);
+//   - LIFO context stack    → freed tokens are reused most-recently-dead
+//     first, keeping the working set on warm stacks/caches;
+//   - fast lock table       → a striped lock table keyed by arbitrary
+//      64-bit addresses (Lock/Unlock), mirroring mlock/munlock.
+//
+// The protocol is the paper's: a component *offers* parallelism at each
+// division point; the runtime accepts only when resources are free, and on
+// refusal the caller runs the same work inline (the sequential fallback
+// path the CapC compiler emits after a failed nthr). Programs written this
+// way never oversubscribe and never block waiting for a worker slot.
+package capsule
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config parameterises a Runtime. The zero value is usable: every field
+// has a documented default applied by New.
+type Config struct {
+	// Contexts is the context-token pool size — the software analogue of
+	// the SOMT's hardware context count. Default: runtime.GOMAXPROCS(0).
+	Contexts int
+
+	// Throttle enables death-rate division throttling. Defaulted on by
+	// NewDefault; New leaves the zero value (off) untouched so ablations
+	// can measure the unthrottled runtime.
+	Throttle bool
+
+	// DeathWindow is the rolling window over which worker deaths are
+	// counted for the throttle (the software port of the paper's 128-cycle
+	// window). Default: 100µs.
+	DeathWindow time.Duration
+
+	// DeathThreshold is the death count within DeathWindow that trips the
+	// throttle. Default: Contexts/2, the paper's threshold.
+	DeathThreshold int
+
+	// LockStripes is the lock-table size (rounded up to a power of two).
+	// Default: 256 entries, mirroring the bounded fast lock table.
+	LockStripes int
+}
+
+// Defaults returns the standard configuration: GOMAXPROCS contexts,
+// throttling on, the paper-derived window and threshold.
+func Defaults() Config {
+	return Config{
+		Contexts:    runtime.GOMAXPROCS(0),
+		Throttle:    true,
+		DeathWindow: 100 * time.Microsecond,
+		LockStripes: 256,
+	}
+}
+
+// Stats is a snapshot of a Runtime's counters. All counts are cumulative
+// since New (or the last ResetStats).
+type Stats struct {
+	Probes         uint64 // division probes (nthr attempts)
+	Granted        uint64 // probes that reserved a context token
+	NoCtxDenies    uint64 // probes refused because the pool was empty
+	ThrottleDenies uint64 // probes refused by the death-rate throttle
+	InlineRuns     uint64 // Divide calls that ran the work inline
+	Deaths         uint64 // worker terminations (kthr)
+	TotalWorkers   uint64 // workers ever spawned
+	PeakWorkers    int    // maximum simultaneously live workers
+	LockAcquires   uint64 // lock-table acquisitions
+}
+
+// GrantRate is the fraction of probes that succeeded (Table 3's
+// "% divisions allowed"). It doubles as the steal-free work balance:
+// CAPSULE distributes work purely by conditional division — there is no
+// work stealing, and a refused probe always leaves the offered work with
+// the offering worker (inline in Divide, or the caller's else-branch
+// after TryDivide) — so the grant rate is exactly the fraction of
+// division offers whose work moved to a fresh worker.
+func (s Stats) GrantRate() float64 {
+	if s.Probes == 0 {
+		return 0
+	}
+	return float64(s.Granted) / float64(s.Probes)
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"probes=%d granted=%d (%.0f%%) denies[noctx=%d throttle=%d] inline=%d deaths=%d workers[total=%d peak=%d] locks=%d",
+		s.Probes, s.Granted, 100*s.GrantRate(), s.NoCtxDenies, s.ThrottleDenies,
+		s.InlineRuns, s.Deaths, s.TotalWorkers, s.PeakWorkers, s.LockAcquires)
+}
+
+// A Context is a reserved context token returned by a successful Probe.
+// It must be consumed by exactly one Spawn or Release.
+type Context struct {
+	rt *Runtime
+	id int
+}
+
+// ID is the hardware-context index this token reserves (stable across the
+// runtime's lifetime; LIFO reuse means recently-died ids recur first).
+func (c *Context) ID() int { return c.id }
+
+// Runtime is one capsule execution domain: a context pool, a death window,
+// a lock table and a join group. A Runtime is safe for concurrent use by
+// any number of workers.
+type Runtime struct {
+	cfg Config
+
+	mu     sync.Mutex
+	free   []int   // LIFO stack of free context ids
+	deaths []int64 // monotonic ns timestamps of recent deaths (ascending)
+
+	probes         atomic.Uint64
+	granted        atomic.Uint64
+	noCtxDenies    atomic.Uint64
+	throttleDenies atomic.Uint64
+	inlineRuns     atomic.Uint64
+	deathCount     atomic.Uint64
+	totalWorkers   atomic.Uint64
+	lockAcquires   atomic.Uint64
+
+	live atomic.Int64
+	peak atomic.Int64
+
+	wg sync.WaitGroup
+
+	stripes  []sync.Mutex
+	lockMask uint64
+
+	// now is the monotonic clock, injectable by tests to drive the death
+	// window deterministically.
+	now func() int64
+}
+
+// New builds a Runtime from cfg, applying defaults for zero fields.
+func New(cfg Config) *Runtime {
+	if cfg.Contexts <= 0 {
+		cfg.Contexts = runtime.GOMAXPROCS(0)
+	}
+	if cfg.DeathWindow <= 0 {
+		cfg.DeathWindow = 100 * time.Microsecond
+	}
+	if cfg.DeathThreshold <= 0 {
+		cfg.DeathThreshold = cfg.Contexts / 2
+		if cfg.DeathThreshold < 1 {
+			cfg.DeathThreshold = 1
+		}
+	}
+	if cfg.LockStripes <= 0 {
+		cfg.LockStripes = 256
+	}
+	stripes := 1
+	for stripes < cfg.LockStripes {
+		stripes <<= 1
+	}
+	rt := &Runtime{
+		cfg:      cfg,
+		free:     make([]int, cfg.Contexts),
+		stripes:  make([]sync.Mutex, stripes),
+		lockMask: uint64(stripes - 1),
+		now:      func() int64 { return time.Now().UnixNano() },
+	}
+	// Push ids so context 0 is on top: the first probe takes the "lowest"
+	// context, like the hardware allocator.
+	for i := range rt.free {
+		rt.free[i] = cfg.Contexts - 1 - i
+	}
+	return rt
+}
+
+// NewDefault is New(Defaults()).
+func NewDefault() *Runtime { return New(Defaults()) }
+
+// Contexts returns the context-pool size.
+func (rt *Runtime) Contexts() int { return rt.cfg.Contexts }
+
+// Probe attempts to reserve a context token: the paper's nthr condition.
+// It succeeds only when the pool has a free token and the death-rate
+// throttle is quiescent. On success the returned Context MUST be consumed
+// by Spawn or Release; on failure the caller takes its sequential path.
+func (rt *Runtime) Probe() (*Context, bool) {
+	rt.probes.Add(1)
+
+	rt.mu.Lock()
+	if rt.cfg.Throttle && rt.deathsInWindowLocked() >= rt.cfg.DeathThreshold {
+		rt.mu.Unlock()
+		rt.throttleDenies.Add(1)
+		return nil, false
+	}
+	n := len(rt.free)
+	if n == 0 {
+		rt.mu.Unlock()
+		rt.noCtxDenies.Add(1)
+		return nil, false
+	}
+	id := rt.free[n-1] // LIFO: most recently freed context first
+	rt.free = rt.free[:n-1]
+	rt.mu.Unlock()
+
+	rt.granted.Add(1)
+	return &Context{rt: rt, id: id}, true
+}
+
+// deathsInWindowLocked prunes expired deaths and returns the live count.
+// Caller holds rt.mu.
+func (rt *Runtime) deathsInWindowLocked() int {
+	cut := rt.now() - rt.cfg.DeathWindow.Nanoseconds()
+	i := 0
+	for i < len(rt.deaths) && rt.deaths[i] < cut {
+		i++
+	}
+	if i > 0 {
+		rt.deaths = rt.deaths[:copy(rt.deaths, rt.deaths[i:])]
+	}
+	return len(rt.deaths)
+}
+
+// Spawn consumes a reserved token and starts fn as a worker goroutine on
+// it. The worker's return is the kthr: the token goes back on the LIFO
+// stack and the death is recorded for the throttle.
+func (rt *Runtime) Spawn(c *Context, fn func()) {
+	if c == nil || c.rt != rt {
+		panic("capsule: Spawn with foreign or nil context")
+	}
+	rt.totalWorkers.Add(1)
+	live := rt.live.Add(1)
+	for {
+		p := rt.peak.Load()
+		if live <= p || rt.peak.CompareAndSwap(p, live) {
+			break
+		}
+	}
+	rt.wg.Add(1)
+	go func() {
+		defer rt.release(c.id)
+		fn()
+	}()
+}
+
+// Release returns an unused token to the pool without running anything
+// (a probe the caller decided not to act on). It does not count as a
+// death.
+func (rt *Runtime) Release(c *Context) {
+	if c == nil || c.rt != rt {
+		panic("capsule: Release with foreign or nil context")
+	}
+	rt.mu.Lock()
+	rt.free = append(rt.free, c.id)
+	rt.mu.Unlock()
+}
+
+// release is the kthr path: the worker died, its context is free again.
+func (rt *Runtime) release(id int) {
+	rt.live.Add(-1)
+	rt.deathCount.Add(1)
+	rt.mu.Lock()
+	rt.free = append(rt.free, id)
+	if rt.cfg.Throttle {
+		rt.deaths = append(rt.deaths, rt.now())
+		// Bound the ring: only counts ≥ threshold matter, so anything
+		// past threshold+pool entries can be dropped after pruning.
+		if len(rt.deaths) > rt.cfg.DeathThreshold+rt.cfg.Contexts {
+			rt.deathsInWindowLocked()
+		}
+	}
+	rt.mu.Unlock()
+	rt.wg.Done()
+}
+
+// TryDivide probes and, on success, spawns fn as a worker and returns
+// true. On refusal it does nothing and returns false — the caller's
+// `else` branch, for programs (like the paper's LZW) that interleave a
+// unit of inline work between probes rather than forfeiting the whole
+// range.
+func (rt *Runtime) TryDivide(fn func()) bool {
+	c, ok := rt.Probe()
+	if !ok {
+		return false
+	}
+	rt.Spawn(c, fn)
+	return true
+}
+
+// Divide is the fused protocol: probe, and either spawn fn on a fresh
+// worker (true) or run it inline to completion on the caller (false).
+// Either way fn's work is done or underway when Divide returns, which is
+// the CapC `coworker f(...)` statement without an else clause.
+func (rt *Runtime) Divide(fn func()) bool {
+	if rt.TryDivide(fn) {
+		return true
+	}
+	rt.inlineRuns.Add(1)
+	fn()
+	return false
+}
+
+// Join blocks until every spawned worker has died. Mirrors the CapC
+// join(): only the component that owns the group may call it, and it must
+// not race with new top-level divisions (divisions *from live workers*
+// are fine — the group cannot hit zero while the divider is alive).
+func (rt *Runtime) Join() { rt.wg.Wait() }
+
+// Lock acquires the table entry for key (mlock). Keys are arbitrary
+// 64-bit addresses; the table is striped, so distinct keys may share an
+// entry — coarser, never incorrect, exactly like the bounded hardware
+// table.
+func (rt *Runtime) Lock(key uint64) {
+	rt.lockAcquires.Add(1)
+	rt.stripes[mix(key)&rt.lockMask].Lock()
+}
+
+// Unlock releases the table entry for key (munlock).
+func (rt *Runtime) Unlock(key uint64) {
+	rt.stripes[mix(key)&rt.lockMask].Unlock()
+}
+
+// mix is a 64-bit finaliser (splitmix64) so dense keys spread over
+// stripes.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Stats snapshots the counters.
+func (rt *Runtime) Stats() Stats {
+	return Stats{
+		Probes:         rt.probes.Load(),
+		Granted:        rt.granted.Load(),
+		NoCtxDenies:    rt.noCtxDenies.Load(),
+		ThrottleDenies: rt.throttleDenies.Load(),
+		InlineRuns:     rt.inlineRuns.Load(),
+		Deaths:         rt.deathCount.Load(),
+		TotalWorkers:   rt.totalWorkers.Load(),
+		PeakWorkers:    int(rt.peak.Load()),
+		LockAcquires:   rt.lockAcquires.Load(),
+	}
+}
+
+// ResetStats zeroes the counters (the context pool and death window are
+// left alone: resource state is not statistics).
+func (rt *Runtime) ResetStats() {
+	rt.probes.Store(0)
+	rt.granted.Store(0)
+	rt.noCtxDenies.Store(0)
+	rt.throttleDenies.Store(0)
+	rt.inlineRuns.Store(0)
+	rt.deathCount.Store(0)
+	rt.totalWorkers.Store(0)
+	rt.peak.Store(rt.live.Load())
+	rt.lockAcquires.Store(0)
+}

@@ -1,0 +1,321 @@
+package capsule
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// quiet returns a runtime with throttling off so pool behaviour can be
+// tested in isolation.
+func quiet(contexts int) *Runtime {
+	return New(Config{Contexts: contexts, Throttle: false})
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	rt := New(Config{})
+	if rt.Contexts() < 1 {
+		t.Fatalf("Contexts = %d, want >= 1", rt.Contexts())
+	}
+	if rt.cfg.DeathWindow <= 0 || rt.cfg.DeathThreshold < 1 || rt.cfg.LockStripes < 1 {
+		t.Fatalf("defaults not applied: %+v", rt.cfg)
+	}
+	if len(rt.stripes)&(len(rt.stripes)-1) != 0 {
+		t.Fatalf("stripes = %d, want power of two", len(rt.stripes))
+	}
+}
+
+func TestProbeBoundedByContexts(t *testing.T) {
+	rt := quiet(3)
+	var held []*Context
+	for i := 0; i < 3; i++ {
+		c, ok := rt.Probe()
+		if !ok {
+			t.Fatalf("probe %d refused with free contexts", i)
+		}
+		held = append(held, c)
+	}
+	if _, ok := rt.Probe(); ok {
+		t.Fatal("probe granted beyond the context pool")
+	}
+	s := rt.Stats()
+	if s.Probes != 4 || s.Granted != 3 || s.NoCtxDenies != 1 {
+		t.Fatalf("stats = %+v, want 4 probes / 3 granted / 1 no-ctx deny", s)
+	}
+	for _, c := range held {
+		rt.Release(c)
+	}
+	if _, ok := rt.Probe(); !ok {
+		t.Fatal("probe refused after releases refilled the pool")
+	}
+}
+
+func TestLIFOContextReuse(t *testing.T) {
+	rt := quiet(3)
+	// Initial allocation order is 0, 1, 2 (context 0 on top).
+	var cs []*Context
+	for want := 0; want < 3; want++ {
+		c, _ := rt.Probe()
+		if c.ID() != want {
+			t.Fatalf("initial probe got context %d, want %d", c.ID(), want)
+		}
+		cs = append(cs, c)
+	}
+	// Release 0, 1, 2: LIFO reuse must hand back 2, 1, 0.
+	for _, c := range cs {
+		rt.Release(c)
+	}
+	for _, want := range []int{2, 1, 0} {
+		c, _ := rt.Probe()
+		if c.ID() != want {
+			t.Fatalf("LIFO probe got context %d, want %d", c.ID(), want)
+		}
+	}
+}
+
+func TestWorkerDeathRefillsLIFO(t *testing.T) {
+	rt := quiet(2)
+	c, _ := rt.Probe()
+	id := c.ID()
+	rt.Spawn(c, func() {})
+	rt.Join()
+	// The dead worker's context must be the next one granted.
+	c2, ok := rt.Probe()
+	if !ok || c2.ID() != id {
+		t.Fatalf("probe after death got (%v, %v), want context %d", c2, ok, id)
+	}
+	s := rt.Stats()
+	if s.Deaths != 1 || s.TotalWorkers != 1 {
+		t.Fatalf("stats = %+v, want 1 death / 1 worker", s)
+	}
+}
+
+func TestDeathRateThrottle(t *testing.T) {
+	var clock atomic.Int64
+	rt := New(Config{
+		Contexts:    4, // threshold defaults to 2
+		Throttle:    true,
+		DeathWindow: time.Microsecond,
+	})
+	rt.now = func() int64 { return clock.Load() }
+
+	// Two immediate worker deaths at t=0 trip the threshold.
+	for i := 0; i < 2; i++ {
+		c, ok := rt.Probe()
+		if !ok {
+			t.Fatalf("probe %d refused before any deaths", i)
+		}
+		rt.Spawn(c, func() {})
+		rt.Join()
+	}
+	if _, ok := rt.Probe(); ok {
+		t.Fatal("probe granted while death rate is above threshold")
+	}
+	if s := rt.Stats(); s.ThrottleDenies != 1 {
+		t.Fatalf("ThrottleDenies = %d, want 1", s.ThrottleDenies)
+	}
+
+	// Advancing past the window drains the death count.
+	clock.Store(time.Microsecond.Nanoseconds() + 1)
+	if _, ok := rt.Probe(); !ok {
+		t.Fatal("probe refused after the death window expired")
+	}
+}
+
+func TestDivideInlineOnRefusal(t *testing.T) {
+	rt := quiet(1)
+	hold, _ := rt.Probe() // exhaust the pool
+	ran := false
+	if rt.Divide(func() { ran = true }) {
+		t.Fatal("Divide reported a spawn with an empty pool")
+	}
+	if !ran {
+		t.Fatal("Divide did not run the work inline on refusal")
+	}
+	if s := rt.Stats(); s.InlineRuns != 1 {
+		t.Fatalf("InlineRuns = %d, want 1", s.InlineRuns)
+	}
+	rt.Release(hold)
+
+	done := make(chan struct{})
+	if !rt.Divide(func() { close(done) }) {
+		t.Fatal("Divide ran inline with a free context")
+	}
+	<-done
+	rt.Join()
+}
+
+func TestTryDivideDoesNothingOnRefusal(t *testing.T) {
+	rt := quiet(1)
+	hold, _ := rt.Probe()
+	ran := false
+	if rt.TryDivide(func() { ran = true }) {
+		t.Fatal("TryDivide reported a spawn with an empty pool")
+	}
+	if ran {
+		t.Fatal("TryDivide ran the work despite refusal")
+	}
+	rt.Release(hold)
+}
+
+func TestJoinWaitsForNestedWorkers(t *testing.T) {
+	rt := quiet(8)
+	var count atomic.Int64
+	var spawn func(depth int)
+	spawn = func(depth int) {
+		count.Add(1)
+		if depth > 0 {
+			for i := 0; i < 2; i++ {
+				d := depth - 1
+				rt.Divide(func() { spawn(d) })
+			}
+		}
+	}
+	spawn(4) // 2^5 - 1 = 31 calls
+	rt.Join()
+	if got := count.Load(); got != 31 {
+		t.Fatalf("count = %d, want 31", got)
+	}
+}
+
+func TestPeakWorkers(t *testing.T) {
+	rt := quiet(4)
+	release := make(chan struct{})
+	var up sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		c, ok := rt.Probe()
+		if !ok {
+			t.Fatalf("probe %d refused", i)
+		}
+		up.Add(1)
+		rt.Spawn(c, func() {
+			up.Done()
+			<-release
+		})
+	}
+	up.Wait()
+	if s := rt.Stats(); s.PeakWorkers != 4 {
+		t.Fatalf("PeakWorkers = %d, want 4", s.PeakWorkers)
+	}
+	close(release)
+	rt.Join()
+}
+
+func TestLockTableMutualExclusion(t *testing.T) {
+	rt := quiet(8)
+	// Hammer a handful of keys; some will share a stripe, which must stay
+	// correct (coarser, never incorrect).
+	const keys, perKey, rounds = 5, 8, 200
+	counters := make([]int64, keys)
+	for w := 0; w < keys*perKey; w++ {
+		key := uint64(w % keys)
+		rt.Divide(func() {
+			for r := 0; r < rounds; r++ {
+				rt.Lock(key)
+				counters[key]++
+				rt.Unlock(key)
+			}
+		})
+	}
+	rt.Join()
+	for k, got := range counters {
+		if got != perKey*rounds {
+			t.Fatalf("counters[%d] = %d, want %d", k, got, perKey*rounds)
+		}
+	}
+	if s := rt.Stats(); s.LockAcquires != keys*perKey*rounds {
+		t.Fatalf("LockAcquires = %d, want %d", s.LockAcquires, keys*perKey*rounds)
+	}
+}
+
+func TestSpawnForeignContextPanics(t *testing.T) {
+	rt1, rt2 := quiet(1), quiet(1)
+	c, _ := rt1.Probe()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Spawn accepted a foreign context")
+		}
+		rt1.Release(c)
+	}()
+	rt2.Spawn(c, func() {})
+}
+
+func TestResetStats(t *testing.T) {
+	rt := quiet(2)
+	rt.Divide(func() {})
+	rt.Join()
+	rt.ResetStats()
+	s := rt.Stats()
+	if s.Probes != 0 || s.Granted != 0 || s.Deaths != 0 || s.TotalWorkers != 0 {
+		t.Fatalf("stats after reset = %+v, want zeroes", s)
+	}
+	// The pool must be intact: both contexts grantable.
+	a, ok1 := rt.Probe()
+	b, ok2 := rt.Probe()
+	if !ok1 || !ok2 {
+		t.Fatal("pool damaged by ResetStats")
+	}
+	rt.Release(a)
+	rt.Release(b)
+}
+
+func TestStatsString(t *testing.T) {
+	rt := quiet(2)
+	rt.Divide(func() {})
+	rt.Join()
+	if s := rt.Stats().String(); s == "" {
+		t.Fatal("empty stats string")
+	}
+}
+
+// TestProbeDivideContention is the race-detector workout: many goroutines
+// hammer Probe/Spawn/Release, Divide, TryDivide and the lock table at
+// once, with the throttle on so every deny path is exercised too.
+func TestProbeDivideContention(t *testing.T) {
+	rt := New(Config{Contexts: 8, Throttle: true, DeathWindow: 50 * time.Microsecond})
+	var total atomic.Int64
+	var outer sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		outer.Add(1)
+		go func(g int) {
+			defer outer.Done()
+			for i := 0; i < 50; i++ {
+				switch i % 3 {
+				case 0:
+					rt.Divide(func() { total.Add(1) })
+				case 1:
+					if !rt.TryDivide(func() { total.Add(1) }) {
+						total.Add(1) // else-branch: do the unit ourselves
+					}
+				default:
+					if c, ok := rt.Probe(); ok {
+						if i%2 == 0 {
+							rt.Spawn(c, func() { total.Add(1) })
+						} else {
+							rt.Release(c)
+							total.Add(1)
+						}
+					} else {
+						total.Add(1)
+					}
+				}
+				key := uint64(g*31 + i)
+				rt.Lock(key)
+				rt.Unlock(key)
+			}
+		}(g)
+	}
+	outer.Wait()
+	rt.Join()
+	if got := total.Load(); got != 16*50 {
+		t.Fatalf("total = %d, want %d", got, 16*50)
+	}
+	s := rt.Stats()
+	if s.Deaths != s.TotalWorkers {
+		t.Fatalf("deaths (%d) != workers spawned (%d) after Join", s.Deaths, s.TotalWorkers)
+	}
+	if s.Granted < s.TotalWorkers {
+		t.Fatalf("granted (%d) < workers spawned (%d)", s.Granted, s.TotalWorkers)
+	}
+}

@@ -188,7 +188,7 @@ func main() {
 // Bzip2Program compiles (cached) the requested variant.
 func Bzip2Program(variant Variant, maxN int) (*prog.Program, error) {
 	key := fmt.Sprintf("bzip2-%s-%d", variant, maxN)
-	return cachedBuild(key, func() string { return bzip2Src(variant, maxN) })
+	return cachedBuild(variant, key, func() string { return bzip2Src(variant, maxN) })
 }
 
 // PatchBzip2 writes the block into a fresh image.

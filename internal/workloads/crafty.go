@@ -208,7 +208,7 @@ func main() {
 // CraftyProgram compiles (cached) the requested variant.
 func CraftyProgram(variant Variant) (*prog.Program, error) {
 	key := fmt.Sprintf("crafty-%s", variant)
-	return cachedBuild(key, func() string { return craftySrc(variant) })
+	return cachedBuild(variant, key, func() string { return craftySrc(variant) })
 }
 
 // PatchCrafty writes the instance into a fresh image.

@@ -162,7 +162,7 @@ func main() {
 // in.
 func DijkstraProgram(variant Variant, maxN, maxE int) (*prog.Program, error) {
 	key := fmt.Sprintf("dijkstra-%s-%d-%d", variant, maxN, maxE)
-	return cachedBuild(key, func() string { return dijkstraSrc(variant, maxN, maxE) })
+	return cachedBuild(variant, key, func() string { return dijkstraSrc(variant, maxN, maxE) })
 }
 
 // PatchDijkstra writes in into a fresh image of p.

@@ -195,7 +195,7 @@ func main() {
 // LZWProgram compiles (cached) the requested variant.
 func LZWProgram(variant Variant, maxN, maxTrie int) (*prog.Program, error) {
 	key := fmt.Sprintf("lzw-%s-%d-%d", variant, maxN, maxTrie)
-	return cachedBuild(key, func() string { return lzwSrc(variant, maxN, maxTrie) })
+	return cachedBuild(variant, key, func() string { return lzwSrc(variant, maxN, maxTrie) })
 }
 
 // PatchLZW writes the problem into a fresh image.

@@ -169,7 +169,7 @@ func main() {
 // MCFProgram compiles (cached) the requested variant.
 func MCFProgram(variant Variant, maxNodes, maxList int) (*prog.Program, error) {
 	key := fmt.Sprintf("mcf-%s-%d-%d", variant, maxNodes, maxList)
-	return cachedBuild(key, func() string { return mcfSrc(variant, maxNodes, maxList) })
+	return cachedBuild(variant, key, func() string { return mcfSrc(variant, maxNodes, maxList) })
 }
 
 // PatchMCF writes the instance into a fresh image.

@@ -1,0 +1,336 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/capsule"
+)
+
+// This file implements VariantNative: the paper's four core component
+// algorithms — QuickSort, Dijkstra, LZW and Perceptron — running on real
+// goroutines via the internal/capsule probe/divide runtime instead of the
+// cycle-level simulator. Each function mirrors the CapC component source
+// in the sibling file statement for statement (the division points are the
+// same `coworker` sites), and each is written so the result is a pure
+// function of the input regardless of worker interleaving: QuickSort
+// divides disjoint sub-ranges, Dijkstra's relaxation is monotone under
+// per-node locks, LZW sums per-chunk code counts, and Perceptron's
+// reductions are exact integer sums.
+//
+// All four return results validated against the Go references
+// (sort order, RefDijkstra, RefLZWMatch, RefPerceptron) by native_test.go
+// and by the Run* wrappers used from cmd/caprun.
+
+// qsNativeCutoff matches the CapC program's insertion-sort cutoff.
+const qsNativeCutoff = 8
+
+// NativeQuickSort sorts a copy of list on rt and returns it. Division
+// points mirror quickSortSrc: after each Hoare partition the left
+// sub-range is offered to a co-worker while the caller keeps the right.
+func NativeQuickSort(rt *capsule.Runtime, list []int64) []int64 {
+	out := append([]int64(nil), list...)
+	nativeQSort(rt, out, 0, len(out))
+	rt.Join()
+	return out
+}
+
+func nativeQSort(rt *capsule.Runtime, arr []int64, lo, hi int) {
+	for hi-lo > qsNativeCutoff {
+		// Middle-element pivot, Hoare partition.
+		p := arr[(lo+hi)/2]
+		i, j := lo, hi-1
+		for i <= j {
+			for arr[i] < p {
+				i++
+			}
+			for arr[j] > p {
+				j--
+			}
+			if i <= j {
+				arr[i], arr[j] = arr[j], arr[i]
+				i++
+				j--
+			}
+		}
+		// Divide: a co-worker takes the left part [lo, j+1); we keep
+		// [i, hi). The ranges are disjoint (j < i), so parent and child
+		// never touch the same element.
+		left, right := lo, j+1
+		rt.Divide(func() { nativeQSort(rt, arr, left, right) })
+		lo = i
+	}
+	// Insertion sort for small runs.
+	for k := lo + 1; k < hi; k++ {
+		v := arr[k]
+		m := k - 1
+		for m >= lo && arr[m] > v {
+			arr[m+1] = arr[m]
+			m--
+		}
+		arr[m+1] = v
+	}
+}
+
+// NativeDijkstra runs the Fig. 1 worker algorithm on rt: each worker
+// carries its path length, improves the locked per-node distance or dies,
+// and probes the runtime at every child edge. The monotone relaxation
+// makes the returned distances equal to RefDijkstra under any
+// interleaving.
+func NativeDijkstra(rt *capsule.Runtime, in *DijkstraInput) []int64 {
+	dist := make([]int64, in.N)
+	for i := range dist {
+		dist[i] = DijkstraInf
+	}
+	var explore func(node int32, d int64)
+	explore = func(node int32, d int64) {
+		rt.Lock(uint64(node))
+		if d >= dist[node] {
+			// Sub-optimal path: this worker dies (Fig. 1, path A.C.E).
+			rt.Unlock(uint64(node))
+			return
+		}
+		dist[node] = d
+		rt.Unlock(uint64(node))
+		for e := in.EOff[node]; e < in.EOff[node+1]; e++ {
+			// Probe the architecture at every child path (Fig. 2).
+			v, nd := in.EDst[e], d+int64(in.EWgt[e])
+			rt.Divide(func() { explore(v, nd) })
+		}
+	}
+	explore(int32(in.Source), 0)
+	rt.Join()
+	return dist
+}
+
+// NativeLZW matches in.Text against the frozen trie in chunk-aligned
+// pieces and returns the emitted code count, equal to
+// RefLZWMatch(in, LZWChunk). The worker constantly offers the upper half
+// of its remaining range; on probe failure it matches one chunk itself
+// and probes again — the paper's throttle-motivating pattern.
+func NativeLZW(rt *capsule.Runtime, in *LZWInput) int64 {
+	var total atomic.Int64
+	var worker func(lo, hi int)
+	worker = func(lo, hi int) {
+		for hi-lo > LZWChunk {
+			// Offer the upper half (chunk-aligned) to a co-worker.
+			mid := lo + ((hi-lo)/2+LZWChunk-1)/LZWChunk*LZWChunk
+			if mid >= hi {
+				break
+			}
+			m, h := mid, hi
+			if rt.TryDivide(func() { worker(m, h) }) {
+				hi = mid
+			} else {
+				// Probe failed: match one chunk ourselves, probe again.
+				total.Add(lzwMatchRange(in, lo, lo+LZWChunk))
+				lo += LZWChunk
+			}
+		}
+		if lo < hi {
+			total.Add(lzwMatchRange(in, lo, hi))
+		}
+	}
+	worker(0, len(in.Text))
+	rt.Join()
+	return total.Load()
+}
+
+// lzwMatchRange greedily matches [lo, hi) against the trie and returns
+// the number of codes emitted — the native matchChunk.
+func lzwMatchRange(in *LZWInput, lo, hi int) int64 {
+	var codes int64
+	p := lo
+	for p < hi {
+		node := int32(0)
+		for p < hi {
+			c := in.Next[node*lzwAlpha+int32(in.Text[p])]
+			if c < 0 {
+				break
+			}
+			node = c
+			p++
+		}
+		if node == 0 {
+			p++ // unknown symbol: emit a literal
+		}
+		codes++
+	}
+	return codes
+}
+
+// NativePerceptron trains the perceptron on rt and returns the final
+// weights and mistake count, equal to RefPerceptron(in). The forward dot
+// product and the weight update halve their neuron range at every probe,
+// the paper's Fig. 7 pattern; partial sums are exact integer adds and
+// update ranges are disjoint, so the result is interleaving-independent.
+func NativePerceptron(rt *capsule.Runtime, in *PerceptronInput) (w []int64, mistakes int64) {
+	w = append([]int64(nil), in.W0...)
+	var acc atomic.Int64
+
+	var forward func(lo, hi int, x []int64)
+	forward = func(lo, hi int, x []int64) {
+		for hi-lo > PerceptronChunk {
+			mid := (lo + hi) / 2
+			m, h := mid, hi
+			if rt.TryDivide(func() { forward(m, h, x) }) {
+				hi = mid
+			} else {
+				acc.Add(dotQ8(w, x, lo, lo+PerceptronChunk))
+				lo += PerceptronChunk
+			}
+		}
+		if lo < hi {
+			acc.Add(dotQ8(w, x, lo, hi))
+		}
+	}
+	var update func(lo, hi int, x []int64, t int64)
+	update = func(lo, hi int, x []int64, t int64) {
+		for hi-lo > PerceptronChunk {
+			mid := (lo + hi) / 2
+			m, h := mid, hi
+			if rt.TryDivide(func() { update(m, h, x, t) }) {
+				hi = mid
+			} else {
+				updQ8(w, x, t, lo, lo+PerceptronChunk)
+				lo += PerceptronChunk
+			}
+		}
+		if lo < hi {
+			updQ8(w, x, t, lo, hi)
+		}
+	}
+
+	for e := 0; e < in.Epochs; e++ {
+		for p := 0; p < in.Patterns; p++ {
+			acc.Store(0)
+			forward(0, in.Neurons, in.X[p])
+			rt.Join()
+			pred := int64(1)
+			if acc.Load() < 0 {
+				pred = -1
+			}
+			if pred != in.Y[p] {
+				mistakes++
+				update(0, in.Neurons, in.X[p], in.Y[p])
+				rt.Join()
+			}
+		}
+	}
+	return w, mistakes
+}
+
+func dotQ8(w, x []int64, lo, hi int) int64 {
+	var s int64
+	for i := lo; i < hi; i++ {
+		s += (w[i] * x[i]) >> 8
+	}
+	return s
+}
+
+func updQ8(w, x []int64, t int64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		w[i] += (t * x[i]) >> 4
+	}
+}
+
+// NativeNames lists the workloads with a native implementation, in the
+// order cmd/caprun documents them.
+func NativeNames() []string {
+	return []string{"quicksort", "dijkstra", "lzw", "perceptron"}
+}
+
+// NativeResult is one native run: the headline output value, the wall
+// time of the native execution alone (input generation and reference
+// validation excluded), and the runtime statistics accumulated during
+// the run.
+type NativeResult struct {
+	Workload string
+	Output   string // human-readable headline (checksum, code count, ...)
+	Elapsed  time.Duration
+	Stats    capsule.Stats
+}
+
+// RunNative executes one native workload on rt with inputs generated the
+// same way cmd/capsim generates them (same generator, same meaning of n
+// and seed), validates the result against the Go reference, and snapshots
+// stats. rt's stats are reset first so the snapshot covers only this run.
+func RunNative(rt *capsule.Runtime, workload string, n int, seed int64) (*NativeResult, error) {
+	// Seed exactly like cmd/capsim (rand.NewSource(seed), not rngFor) so
+	// the same -workload/-n/-seed triple names the same input in both
+	// tools and their outputs are directly comparable.
+	rng := rand.New(rand.NewSource(seed))
+	rt.ResetStats()
+	res := &NativeResult{Workload: workload}
+	timed := func(fn func()) {
+		start := time.Now()
+		fn()
+		res.Elapsed = time.Since(start)
+	}
+	switch workload {
+	case "quicksort":
+		list := GenList(rng, ListUniform, n)
+		var got []int64
+		timed(func() { got = NativeQuickSort(rt, list) })
+		want := append([]int64(nil), list...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if got[i] != want[i] {
+				return nil, fmt.Errorf("native quicksort: arr[%d] = %d, want %d", i, got[i], want[i])
+			}
+		}
+		res.Output = fmt.Sprintf("sorted %d elements (checksum %d)", len(got), checksum(got))
+	case "dijkstra":
+		in := GenGraph(rng, n, 4, 9)
+		var got []int64
+		timed(func() { got = NativeDijkstra(rt, in) })
+		want := RefDijkstra(in)
+		for v := range want {
+			if got[v] != want[v] {
+				return nil, fmt.Errorf("native dijkstra: dist[%d] = %d, want %d", v, got[v], want[v])
+			}
+		}
+		res.Output = fmt.Sprintf("distances over %d nodes (checksum %d)", in.N, checksum(got))
+	case "lzw":
+		in := GenLZW(rng, n)
+		var got int64
+		timed(func() { got = NativeLZW(rt, in) })
+		if want := RefLZWMatch(in, LZWChunk); got != want {
+			return nil, fmt.Errorf("native lzw: total codes = %d, want %d", got, want)
+		}
+		res.Output = fmt.Sprintf("emitted %d codes for %d symbols", got, len(in.Text))
+	case "perceptron":
+		in := GenPerceptron(rng, n, 3, 1)
+		var gotW []int64
+		var gotM int64
+		timed(func() { gotW, gotM = NativePerceptron(rt, in) })
+		wantW, wantM := RefPerceptron(in)
+		if gotM != wantM {
+			return nil, fmt.Errorf("native perceptron: mistakes = %d, want %d", gotM, wantM)
+		}
+		for i := range wantW {
+			if gotW[i] != wantW[i] {
+				return nil, fmt.Errorf("native perceptron: w[%d] = %d, want %d", i, gotW[i], wantW[i])
+			}
+		}
+		res.Output = fmt.Sprintf("trained %d neurons, %d mistakes (weight checksum %d)", in.Neurons, gotM, checksum(gotW))
+	default:
+		return nil, fmt.Errorf("unknown native workload %q (have %v)", workload, NativeNames())
+	}
+	res.Stats = rt.Stats()
+	return res, nil
+}
+
+// checksum is an order-sensitive 64-bit digest for compact output
+// comparison.
+func checksum(xs []int64) uint64 {
+	var h uint64 = 1469598103934665603
+	for _, x := range xs {
+		h ^= uint64(x)
+		h *= 1099511628211
+	}
+	return h
+}

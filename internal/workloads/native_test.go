@@ -1,0 +1,183 @@
+package workloads
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/capsule"
+)
+
+// nativeRT returns a runtime that exercises real division even on a
+// single-CPU machine: an explicit multi-token pool forces workers to
+// interleave.
+func nativeRT(contexts int) *capsule.Runtime {
+	return capsule.New(capsule.Config{Contexts: contexts, Throttle: true})
+}
+
+func TestNativeQuickSortCrossVal(t *testing.T) {
+	for kind := ListKind(0); kind < numListKinds; kind++ {
+		for _, n := range []int{0, 1, 7, 50, 2000} {
+			rng := rngFor(11, int(kind)*100+n)
+			list := GenList(rng, kind, n)
+			got := NativeQuickSort(nativeRT(4), list)
+			want := append([]int64(nil), list...)
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s/n=%d: arr[%d] = %d, want %d", kind, n, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestNativeDijkstraCrossVal(t *testing.T) {
+	for _, n := range []int{1, 10, 100, 600} {
+		for seed := int64(1); seed <= 3; seed++ {
+			in := GenGraph(rngFor(seed, n), n, 4, 9)
+			got := NativeDijkstra(nativeRT(4), in)
+			want := RefDijkstra(in)
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("n=%d seed=%d: dist[%d] = %d, want %d", n, seed, v, got[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+func TestNativeLZWCrossVal(t *testing.T) {
+	for _, n := range []int{0, 8, 9, 64, 4096} {
+		for seed := int64(1); seed <= 3; seed++ {
+			in := GenLZW(rngFor(seed, n), n)
+			got := NativeLZW(nativeRT(4), in)
+			if want := RefLZWMatch(in, LZWChunk); got != want {
+				t.Fatalf("n=%d seed=%d: codes = %d, want %d", n, seed, got, want)
+			}
+		}
+	}
+}
+
+func TestNativePerceptronCrossVal(t *testing.T) {
+	for _, neurons := range []int{4, 16, 257, 1024} {
+		in := GenPerceptron(rngFor(7, neurons), neurons, 3, 2)
+		gotW, gotM := NativePerceptron(nativeRT(4), in)
+		wantW, wantM := RefPerceptron(in)
+		if gotM != wantM {
+			t.Fatalf("neurons=%d: mistakes = %d, want %d", neurons, gotM, wantM)
+		}
+		for i := range wantW {
+			if gotW[i] != wantW[i] {
+				t.Fatalf("neurons=%d: w[%d] = %d, want %d", neurons, i, gotW[i], wantW[i])
+			}
+		}
+	}
+}
+
+// TestNativeDeterminism checks the contract the native implementations
+// promise: the result is a pure function of the input — identical across
+// repeated runs, context-pool sizes, and throttle settings, no matter how
+// the workers interleave.
+func TestNativeDeterminism(t *testing.T) {
+	configs := []capsule.Config{
+		{Contexts: 1},
+		{Contexts: 2, Throttle: true},
+		{Contexts: 8},
+		{Contexts: 8, Throttle: true},
+	}
+	for _, name := range NativeNames() {
+		t.Run(name, func(t *testing.T) {
+			var want string
+			for i, cfg := range configs {
+				for rep := 0; rep < 3; rep++ {
+					res, err := RunNative(capsule.New(cfg), name, 300, 42)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if i == 0 && rep == 0 {
+						want = res.Output
+						continue
+					}
+					if res.Output != want {
+						t.Fatalf("config %d rep %d: output %q, want %q", i, rep, res.Output, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestNativeContention runs all four workloads concurrently on one shared
+// pool of runtimes under load — primarily a race-detector target.
+func TestNativeContention(t *testing.T) {
+	done := make(chan error, len(NativeNames()))
+	for _, name := range NativeNames() {
+		go func(name string) {
+			_, err := RunNative(nativeRT(8), name, 500, 3)
+			done <- err
+		}(name)
+	}
+	for range NativeNames() {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRunNativeStatsAndErrors(t *testing.T) {
+	rt := nativeRT(4)
+	res, err := RunNative(rt, "dijkstra", 400, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Stats
+	if s.Probes == 0 {
+		t.Fatal("no probes recorded: division sites not exercised")
+	}
+	if s.Granted+s.NoCtxDenies+s.ThrottleDenies != s.Probes {
+		t.Fatalf("probe accounting broken: %+v", s)
+	}
+	if s.Deaths != s.TotalWorkers {
+		t.Fatalf("deaths (%d) != workers (%d) after a completed run", s.Deaths, s.TotalWorkers)
+	}
+
+	if _, err := RunNative(rt, "nosuch", 10, 1); err == nil {
+		t.Fatal("unknown workload accepted")
+	} else {
+		for _, name := range NativeNames() {
+			if !strings.Contains(err.Error(), name) {
+				t.Fatalf("error %q does not list known workload %q", err, name)
+			}
+		}
+	}
+}
+
+// TestVariantNativeRejectedBySimulator pins that the native variant can
+// never be handed to the CapC build path: it has no simulator program.
+func TestVariantNativeRejectedBySimulator(t *testing.T) {
+	if _, err := QuickSortProgram(VariantNative, 64); err == nil {
+		t.Fatal("QuickSortProgram accepted VariantNative")
+	}
+	if _, err := DijkstraProgram(VariantNative, 64, 64); err == nil {
+		t.Fatal("DijkstraProgram accepted VariantNative")
+	}
+	if _, err := LZWProgram(VariantNative, 64, 64); err == nil {
+		t.Fatal("LZWProgram accepted VariantNative")
+	}
+	if _, err := PerceptronProgram(VariantNative, 64, 4); err == nil {
+		t.Fatal("PerceptronProgram accepted VariantNative")
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	for v, want := range map[Variant]string{
+		VariantComponent:  "component",
+		VariantImperative: "imperative",
+		VariantNative:     "native",
+	} {
+		if got := v.String(); got != want {
+			t.Fatalf("Variant(%d).String() = %q, want %q", v, got, want)
+		}
+	}
+}

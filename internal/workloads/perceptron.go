@@ -209,7 +209,7 @@ func main() {
 // PerceptronProgram compiles (cached) the requested variant.
 func PerceptronProgram(variant Variant, maxNeurons, maxPatterns int) (*prog.Program, error) {
 	key := fmt.Sprintf("perceptron-%s-%d-%d", variant, maxNeurons, maxPatterns)
-	return cachedBuild(key, func() string { return perceptronSrc(variant, maxNeurons, maxPatterns) })
+	return cachedBuild(variant, key, func() string { return perceptronSrc(variant, maxNeurons, maxPatterns) })
 }
 
 // PatchPerceptron writes the problem into a fresh image.

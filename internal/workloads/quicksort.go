@@ -49,6 +49,9 @@ func (k ListKind) String() string {
 // GenList generates one input list of the given kind.
 func GenList(rng *rand.Rand, kind ListKind, n int) []int64 {
 	out := make([]int64, n)
+	if n == 0 {
+		return out
+	}
 	switch kind {
 	case ListUniform:
 		for i := range out {
@@ -148,7 +151,7 @@ func main() {
 // QuickSortProgram compiles (cached) the requested variant.
 func QuickSortProgram(variant Variant, maxN int) (*prog.Program, error) {
 	key := fmt.Sprintf("quicksort-%s-%d", variant, maxN)
-	return cachedBuild(key, func() string { return quickSortSrc(variant, maxN) })
+	return cachedBuild(variant, key, func() string { return quickSortSrc(variant, maxN) })
 }
 
 // PatchQuickSort writes the list into a fresh image.

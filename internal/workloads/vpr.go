@@ -198,7 +198,7 @@ func main() {
 // VPRProgram compiles (cached) the requested variant.
 func VPRProgram(variant Variant, maxCells, maxNets, maxPath int) (*prog.Program, error) {
 	key := fmt.Sprintf("vpr-%s-%d-%d-%d", variant, maxCells, maxNets, maxPath)
-	return cachedBuild(key, func() string { return vprSrc(variant, maxCells, maxNets, maxPath) })
+	return cachedBuild(variant, key, func() string { return vprSrc(variant, maxCells, maxNets, maxPath) })
 }
 
 // vprMaxPath bounds stored path length.

@@ -25,20 +25,33 @@ const (
 	// VariantImperative is the baseline sequential implementation the
 	// paper runs on the superscalar.
 	VariantImperative
+	// VariantNative is the same component algorithm running natively on
+	// goroutines via internal/capsule instead of the cycle-level
+	// simulator (see native.go).
+	VariantNative
 )
 
 func (v Variant) String() string {
-	if v == VariantComponent {
+	switch v {
+	case VariantComponent:
 		return "component"
+	case VariantNative:
+		return "native"
+	default:
+		return "imperative"
 	}
-	return "imperative"
 }
 
 // buildCache memoises compiled programs by (workload, variant, size key):
 // experiments run hundreds of data sets against the same binary.
 var buildCache sync.Map
 
-func cachedBuild(key string, src func() string) (*prog.Program, error) {
+func cachedBuild(variant Variant, key string, src func() string) (*prog.Program, error) {
+	if variant == VariantNative {
+		// The native variant has no CapC program: it runs on goroutines
+		// via the Native* functions (native.go), never the simulator.
+		return nil, fmt.Errorf("workloads: %s: VariantNative cannot be simulated; use the Native* functions on a capsule.Runtime", key)
+	}
 	if p, ok := buildCache.Load(key); ok {
 		return p.(*prog.Program), nil
 	}

@@ -17,15 +17,22 @@
 //     latency-driven swapping, and the fast lock table — internal/cpu;
 //   - the paper's benchmark suite and SPEC CINT2000 proxies —
 //     internal/workloads — and every table/figure regenerator —
-//     internal/exp.
+//     internal/exp;
+//   - the native capsule runtime — internal/capsule — which ports the
+//     probe/divide protocol to real goroutines (a bounded context-token
+//     pool, death-rate throttling, LIFO context reuse and a striped lock
+//     table), so the same component algorithms also run at hardware speed
+//     outside the simulator (see cmd/caprun).
 //
 // This package re-exports the surface a downstream user needs: compile a
 // CapC program, pick one of the paper's machines, run it, and inspect
-// cycles and CAPSULE statistics.
+// cycles and CAPSULE statistics — or build a native Runtime and run
+// component Go code on it directly.
 package repro
 
 import (
 	"repro/internal/asm"
+	"repro/internal/capsule"
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/exp"
@@ -98,3 +105,22 @@ func Experiment(id string, quick bool) (string, error) {
 
 // Experiments lists the available experiment ids.
 func Experiments() []string { return exp.IDs() }
+
+// Native execution: the probe/divide protocol on real goroutines.
+//
+// A Runtime is one capsule execution domain; Probe/Divide follow the
+// paper's protocol (divide only when a context token is free and the
+// death-rate throttle is quiescent, run inline otherwise).
+type (
+	Runtime       = capsule.Runtime
+	RuntimeConfig = capsule.Config
+	RuntimeStats  = capsule.Stats
+)
+
+// NewRuntime builds a native capsule runtime; zero fields of cfg take the
+// documented defaults (GOMAXPROCS contexts, 100µs death window).
+func NewRuntime(cfg RuntimeConfig) *Runtime { return capsule.New(cfg) }
+
+// DefaultRuntime builds a native runtime with the standard configuration:
+// GOMAXPROCS context tokens and death-rate throttling on.
+func DefaultRuntime() *Runtime { return capsule.NewDefault() }

@@ -112,3 +112,28 @@ func TestFacadeExperimentRuns(t *testing.T) {
 		t.Fatal("unknown experiment accepted")
 	}
 }
+
+func TestFacadeNativeRuntime(t *testing.T) {
+	rt := NewRuntime(RuntimeConfig{Contexts: 4})
+	var sum int64
+	done := make(chan int64, 4)
+	for i := 0; i < 4; i++ {
+		part := int64(i + 1)
+		rt.Divide(func() { done <- part })
+	}
+	rt.Join()
+	close(done)
+	for v := range done {
+		sum += v
+	}
+	if sum != 10 {
+		t.Fatalf("sum = %d, want 10", sum)
+	}
+	var s RuntimeStats = rt.Stats()
+	if s.Probes != 4 {
+		t.Fatalf("probes = %d, want 4", s.Probes)
+	}
+	if DefaultRuntime().Contexts() < 1 {
+		t.Fatal("default runtime has no contexts")
+	}
+}
