@@ -1,0 +1,330 @@
+// Command capload drives a running capserve with sustained load and
+// reports client-side throughput and latency percentiles alongside the
+// server's division grant rate (scraped from /metrics before and after
+// the run) — so the paper's "% divisions allowed" is measured under real
+// serving traffic.
+//
+// Two load models:
+//
+//   - closed loop (default): -c workers, each firing its next request as
+//     soon as the previous one completes — throughput is offered by
+//     completion;
+//   - open loop (-rate R): arrivals on a fixed schedule of R req/s
+//     regardless of completions — the model that actually overloads a
+//     server and exercises 503 shedding.
+//
+// Usage:
+//
+//	capload -url http://localhost:8080 -d 10s -c 16
+//	capload -url http://localhost:8080 -d 10s -rate 500 -workloads quicksort,lzw
+//	capload -d 5s -c 8 -min-throughput 200   # CI smoke: exit 2 below 200 req/s
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+type options struct {
+	url     string
+	wls     []string
+	n       int
+	seed    int64
+	seeds   int64
+	c       int
+	rate    float64
+	d       time.Duration
+	timeout time.Duration
+	verify  bool
+	minTput float64
+	jsonOut bool
+}
+
+// result is one request's outcome.
+type result struct {
+	code    int // 0 = transport error
+	latency time.Duration
+}
+
+// runResponse is the slice of capserve's response body capload reads.
+type runResponse struct {
+	Workload string `json:"workload"`
+	N        int    `json:"n"`
+	Seed     int64  `json:"seed"`
+	Checksum uint64 `json:"checksum"`
+	Degraded bool   `json:"degraded"`
+}
+
+func main() {
+	var o options
+	var wlList string
+	flag.StringVar(&o.url, "url", "http://localhost:8080", "capserve base URL")
+	flag.StringVar(&wlList, "workloads", "quicksort,dijkstra,lzw,perceptron", "comma-separated workloads, round-robin")
+	flag.IntVar(&o.n, "n", 2000, "input size per request")
+	flag.Int64Var(&o.seed, "seed", 1, "base input seed")
+	flag.Int64Var(&o.seeds, "seeds", 64, "seed cycle length (request i uses seed + i mod seeds)")
+	flag.IntVar(&o.c, "c", 8, "closed-loop concurrency (workers)")
+	flag.Float64Var(&o.rate, "rate", 0, "open-loop arrival rate in req/s (0 = closed loop)")
+	flag.DurationVar(&o.d, "d", 5*time.Second, "load duration")
+	flag.DurationVar(&o.timeout, "timeout", 10*time.Second, "per-request timeout")
+	flag.BoolVar(&o.verify, "verify", true, "assert same (workload,n,seed) always returns the same checksum")
+	flag.Float64Var(&o.minTput, "min-throughput", 0, "exit 2 if 2xx throughput falls below this (req/s)")
+	flag.BoolVar(&o.jsonOut, "json", false, "emit a machine-readable JSON report")
+	flag.Parse()
+
+	o.wls = strings.Split(wlList, ",")
+	for i := range o.wls {
+		o.wls[i] = strings.TrimSpace(o.wls[i])
+	}
+	if o.n <= 0 || o.c <= 0 || o.d <= 0 || o.seeds <= 0 || o.rate < 0 {
+		fail("invalid flags: n, c, d and seeds must be positive, rate non-negative")
+	}
+
+	client := &http.Client{Timeout: o.timeout}
+	before, berr := scrapeDivisions(client, o.url)
+
+	var (
+		mu       sync.Mutex
+		results  []result
+		checks   = map[string]uint64{}
+		mismatch int
+	)
+	record := func(r result) {
+		mu.Lock()
+		results = append(results, r)
+		mu.Unlock()
+	}
+	fire := func(i int64) {
+		wl := o.wls[int(i)%len(o.wls)]
+		seed := o.seed + i%o.seeds
+		url := fmt.Sprintf("%s/run/%s?n=%d&seed=%d", o.url, wl, o.n, seed)
+		start := time.Now()
+		resp, err := client.Get(url)
+		lat := time.Since(start)
+		if err != nil {
+			record(result{0, lat})
+			return
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		record(result{resp.StatusCode, lat})
+		if o.verify && resp.StatusCode == http.StatusOK {
+			var rr runResponse
+			if json.Unmarshal(body, &rr) == nil {
+				key := fmt.Sprintf("%s/%d/%d", rr.Workload, rr.N, rr.Seed)
+				mu.Lock()
+				if prev, seen := checks[key]; seen && prev != rr.Checksum {
+					mismatch++
+				} else {
+					checks[key] = rr.Checksum
+				}
+				mu.Unlock()
+			}
+		}
+	}
+
+	mode := "closed"
+	start := time.Now()
+	deadline := start.Add(o.d)
+	if o.rate > 0 {
+		mode = "open"
+		openLoop(o, deadline, fire)
+	} else {
+		closedLoop(o, deadline, fire)
+	}
+	elapsed := time.Since(start)
+	// Throughput is judged over the load window, not the post-deadline
+	// drain: a single straggler riding out its timeout must not deflate
+	// the sustained rate (and spuriously trip -min-throughput).
+	window := elapsed
+	if window > o.d {
+		window = o.d
+	}
+
+	after, aerr := scrapeDivisions(client, o.url)
+
+	// Aggregate.
+	var ok2xx, errs int
+	byCode := map[int]int{}
+	lats := make([]time.Duration, 0, len(results))
+	for _, r := range results {
+		byCode[r.code]++
+		if r.code >= 200 && r.code < 300 {
+			ok2xx++
+			lats = append(lats, r.latency)
+		} else {
+			errs++
+		}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	tput := float64(ok2xx) / window.Seconds()
+
+	report := map[string]any{
+		"mode": mode, "url": o.url, "workloads": o.wls, "n": o.n,
+		"duration_s": elapsed.Seconds(), "total": len(results),
+		"ok_2xx": ok2xx, "errors": errs, "by_code": codeKeys(byCode),
+		"throughput_rps":      tput,
+		"latency_p50_ms":      ms(pct(lats, 0.50)),
+		"latency_p95_ms":      ms(pct(lats, 0.95)),
+		"latency_p99_ms":      ms(pct(lats, 0.99)),
+		"latency_max_ms":      ms(pct(lats, 1)),
+		"checksum_mismatches": mismatch,
+	}
+	// Counters going backwards mean the server restarted (or a balancer
+	// swapped instances) between scrapes: the pair is unusable, omit the
+	// server_* keys rather than report underflowed garbage.
+	if berr == nil && aerr == nil && after.probes >= before.probes && after.granted >= before.granted {
+		dp, dg := after.probes-before.probes, after.granted-before.granted
+		report["server_probes"] = dp
+		report["server_granted"] = dg
+		if dp > 0 {
+			report["server_grant_rate"] = float64(dg) / float64(dp)
+		}
+	}
+
+	if o.jsonOut {
+		json.NewEncoder(os.Stdout).Encode(report)
+	} else {
+		fmt.Printf("capload: %s loop, %s against %s (workloads %s, n=%d)\n",
+			mode, elapsed.Round(time.Millisecond), o.url, strings.Join(o.wls, ","), o.n)
+		fmt.Printf("requests: total=%d 2xx=%d errors=%d by-code=%v\n", len(results), ok2xx, errs, codeKeys(byCode))
+		fmt.Printf("throughput: %.1f req/s (2xx)\n", tput)
+		fmt.Printf("latency: p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms\n",
+			ms(pct(lats, 0.50)), ms(pct(lats, 0.95)), ms(pct(lats, 0.99)), ms(pct(lats, 1)))
+		if dp, ok := report["server_probes"]; ok {
+			line := fmt.Sprintf("server: Δprobes=%v Δgranted=%v", dp, report["server_granted"])
+			if gr, ok := report["server_grant_rate"]; ok {
+				line += fmt.Sprintf(" grant-rate=%.3f%%", gr.(float64)*100)
+			}
+			fmt.Println(line + " (from /metrics)")
+		}
+		if mismatch > 0 {
+			fmt.Printf("VERIFY FAILED: %d checksum mismatches\n", mismatch)
+		}
+	}
+
+	if mismatch > 0 {
+		os.Exit(3)
+	}
+	if ok2xx == 0 {
+		fail("no successful responses")
+	}
+	if o.minTput > 0 && tput < o.minTput {
+		fmt.Fprintf(os.Stderr, "capload: throughput %.1f req/s below required %.1f\n", tput, o.minTput)
+		os.Exit(2)
+	}
+}
+
+// closedLoop runs o.c workers, each firing back-to-back until deadline.
+func closedLoop(o options, deadline time.Time, fire func(int64)) {
+	var next int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < o.c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				fire(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// openLoop fires requests on a fixed arrival schedule until deadline,
+// with outstanding requests bounded so an unresponsive server cannot
+// balloon goroutines.
+func openLoop(o options, deadline time.Time, fire func(int64)) {
+	interval := time.Duration(float64(time.Second) / o.rate)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	sem := make(chan struct{}, 4096)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	var wg sync.WaitGroup
+	var i int64
+	for now := range ticker.C {
+		if !now.Before(deadline) {
+			break
+		}
+		select {
+		case sem <- struct{}{}:
+			wg.Add(1)
+			go func(i int64) {
+				defer func() { <-sem; wg.Done() }()
+				fire(i)
+			}(i)
+		default:
+			// Too many outstanding: drop this arrival client-side rather
+			// than queue it (open-loop fidelity over completeness).
+		}
+		i++
+	}
+	wg.Wait()
+}
+
+// divisions are the two /metrics series capload diffs across the run.
+type divisions struct{ probes, granted uint64 }
+
+func scrapeDivisions(client *http.Client, base string) (divisions, error) {
+	var d divisions
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return d, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return d, err
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		if v, ok := strings.CutPrefix(line, "capsule_probes_total "); ok {
+			d.probes, _ = strconv.ParseUint(strings.TrimSpace(v), 10, 64)
+		}
+		if v, ok := strings.CutPrefix(line, "capsule_granted_total "); ok {
+			d.granted, _ = strconv.ParseUint(strings.TrimSpace(v), 10, 64)
+		}
+	}
+	return d, nil
+}
+
+// pct returns the q-quantile of sorted latencies (q=1 → max).
+func pct(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// codeKeys renders the status-code histogram with stable keys ("0" means
+// transport error).
+func codeKeys(byCode map[int]int) map[string]int {
+	out := map[string]int{}
+	for c, n := range byCode {
+		out[strconv.Itoa(c)] = n
+	}
+	return out
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "capload: "+format+"\n", args...)
+	os.Exit(1)
+}

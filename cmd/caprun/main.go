@@ -10,9 +10,11 @@
 //	caprun -workload quicksort -n 100000 -workers 4
 //	caprun -workload lzw -n 65536 -stats
 //	caprun -workload perceptron -n 4096 -throttle=false
+//	caprun -workload quicksort -n 100000 -json   # machine-readable, for CI diffs
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,17 +34,21 @@ func main() {
 	throttle := flag.Bool("throttle", true, "death-rate division throttling")
 	window := flag.Duration("window", 100*time.Microsecond, "death-rate window")
 	stats := flag.Bool("stats", false, "print full statistics")
+	jsonOut := flag.Bool("json", false, "emit one machine-readable JSON object instead of text")
 	flag.Parse()
 
 	if *n <= 0 {
 		fail("-n must be > 0 (got %d)", *n)
 	}
 
-	rt := capsule.New(capsule.Config{
+	rt, err := capsule.NewValidated(capsule.Config{
 		Contexts:    *workers,
 		Throttle:    *throttle,
 		DeathWindow: *window,
 	})
+	if err != nil {
+		fail("%v", err)
+	}
 
 	res, err := workloads.RunNative(rt, *workload, *n, *seed)
 	if err != nil {
@@ -50,6 +56,23 @@ func main() {
 	}
 
 	s := res.Stats
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		if err := enc.Encode(struct {
+			Workload   string        `json:"workload"`
+			N          int           `json:"n"`
+			Seed       int64         `json:"seed"`
+			Workers    int           `json:"workers"`
+			GOMAXPROCS int           `json:"gomaxprocs"`
+			Output     string        `json:"output"`
+			ElapsedNS  int64         `json:"elapsed_ns"`
+			Stats      capsule.Stats `json:"stats"`
+		}{*workload, *n, *seed, rt.Contexts(), runtime.GOMAXPROCS(0),
+			res.Output, res.Elapsed.Nanoseconds(), s}); err != nil {
+			fail("%v", err)
+		}
+		return
+	}
 	fmt.Printf("workload=%s n=%d seed=%d workers=%d gomaxprocs=%d\n",
 		*workload, *n, *seed, rt.Contexts(), runtime.GOMAXPROCS(0))
 	fmt.Printf("result: %s (validated against Go reference)\n", res.Output)

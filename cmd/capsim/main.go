@@ -60,13 +60,13 @@ func main() {
 	var err error
 	switch *workload {
 	case "dijkstra":
-		res, err = workloads.RunDijkstra(workloads.GenGraph(rng, *n, 4, 9), variant, cfg)
+		res, err = workloads.RunDijkstra(workloads.GenGraph(rng, *n, workloads.GenDijkstraMaxDeg, workloads.GenDijkstraMaxW), variant, cfg)
 	case "quicksort":
 		res, err = workloads.RunQuickSort(workloads.GenList(rng, workloads.ListUniform, *n), variant, cfg)
 	case "lzw":
 		res, err = workloads.RunLZW(workloads.GenLZW(rng, *n), variant, cfg)
 	case "perceptron":
-		res, err = workloads.RunPerceptron(workloads.GenPerceptron(rng, *n, 3, 1), variant, cfg)
+		res, err = workloads.RunPerceptron(workloads.GenPerceptron(rng, *n, workloads.GenPerceptronPats, workloads.GenPerceptronEpochs), variant, cfg)
 	case "mcf":
 		res, err = workloads.RunMCF(workloads.GenMCF(rng, *n, *n/4+16, 2), variant, cfg)
 	case "bzip2":

@@ -35,7 +35,9 @@ import (
 )
 
 // Config parameterises a Runtime. The zero value is usable: every field
-// has a documented default applied by New.
+// has a documented default applied by New. Negative values are never
+// meaningful and are rejected by Validate (New panics on them;
+// NewValidated returns the error).
 type Config struct {
 	// Contexts is the context-token pool size — the software analogue of
 	// the SOMT's hardware context count. Default: runtime.GOMAXPROCS(0).
@@ -71,18 +73,58 @@ func Defaults() Config {
 	}
 }
 
+// Validate reports whether every field of c is meaningful. Zero fields
+// are valid — they take the documented defaults — but negative counts,
+// thresholds or windows have no sensible reading and were previously
+// absorbed silently into the defaults; now they are errors.
+func (c Config) Validate() error {
+	if c.Contexts < 0 {
+		return fmt.Errorf("capsule: Contexts must be >= 0 (0 means GOMAXPROCS), got %d", c.Contexts)
+	}
+	if c.DeathWindow < 0 {
+		return fmt.Errorf("capsule: DeathWindow must be >= 0 (0 means 100µs default), got %v", c.DeathWindow)
+	}
+	if c.DeathThreshold < 0 {
+		return fmt.Errorf("capsule: DeathThreshold must be >= 0 (0 means Contexts/2), got %d", c.DeathThreshold)
+	}
+	if c.LockStripes < 0 {
+		return fmt.Errorf("capsule: LockStripes must be >= 0 (0 means 256), got %d", c.LockStripes)
+	}
+	return nil
+}
+
 // Stats is a snapshot of a Runtime's counters. All counts are cumulative
 // since New (or the last ResetStats).
 type Stats struct {
-	Probes         uint64 // division probes (nthr attempts)
-	Granted        uint64 // probes that reserved a context token
-	NoCtxDenies    uint64 // probes refused because the pool was empty
-	ThrottleDenies uint64 // probes refused by the death-rate throttle
-	InlineRuns     uint64 // Divide calls that ran the work inline
-	Deaths         uint64 // worker terminations (kthr)
-	TotalWorkers   uint64 // workers ever spawned
-	PeakWorkers    int    // maximum simultaneously live workers
-	LockAcquires   uint64 // lock-table acquisitions
+	Probes         uint64 `json:"probes"`          // division probes (nthr attempts)
+	Granted        uint64 `json:"granted"`         // probes that reserved a context token
+	NoCtxDenies    uint64 `json:"no_ctx_denies"`   // probes refused because the pool was empty
+	ThrottleDenies uint64 `json:"throttle_denies"` // probes refused by the death-rate throttle
+	InlineRuns     uint64 `json:"inline_runs"`     // Divide calls that ran the work inline
+	Deaths         uint64 `json:"deaths"`          // worker terminations (kthr)
+	TotalWorkers   uint64 `json:"total_workers"`   // workers ever spawned
+	PeakWorkers    int    `json:"peak_workers"`    // maximum simultaneously live workers
+	LockAcquires   uint64 `json:"lock_acquires"`   // lock-table acquisitions
+}
+
+// Delta returns the counters accumulated since prev, an earlier snapshot
+// of the same Runtime: s - prev field by field. PeakWorkers is a
+// high-water mark, not a cumulative count, so the later snapshot's value
+// carries through unchanged. Snapshot-then-delta is how a shared runtime
+// is observed without ResetStats (which would clobber concurrent
+// observers): take Stats() before, Stats() after, and Delta the two.
+func (s Stats) Delta(prev Stats) Stats {
+	return Stats{
+		Probes:         s.Probes - prev.Probes,
+		Granted:        s.Granted - prev.Granted,
+		NoCtxDenies:    s.NoCtxDenies - prev.NoCtxDenies,
+		ThrottleDenies: s.ThrottleDenies - prev.ThrottleDenies,
+		InlineRuns:     s.InlineRuns - prev.InlineRuns,
+		Deaths:         s.Deaths - prev.Deaths,
+		TotalWorkers:   s.TotalWorkers - prev.TotalWorkers,
+		PeakWorkers:    s.PeakWorkers,
+		LockAcquires:   s.LockAcquires - prev.LockAcquires,
+	}
 }
 
 // GrantRate is the fraction of probes that succeeded (Table 3's
@@ -149,8 +191,13 @@ type Runtime struct {
 	now func() int64
 }
 
-// New builds a Runtime from cfg, applying defaults for zero fields.
+// New builds a Runtime from cfg, applying defaults for zero fields. It
+// panics if cfg fails Validate; use NewValidated to get the error
+// instead.
 func New(cfg Config) *Runtime {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
 	if cfg.Contexts <= 0 {
 		cfg.Contexts = runtime.GOMAXPROCS(0)
 	}
@@ -185,11 +232,47 @@ func New(cfg Config) *Runtime {
 	return rt
 }
 
+// NewValidated is New for configurations built from external input (flags,
+// requests): it returns cfg's validation error instead of panicking.
+func NewValidated(cfg Config) (*Runtime, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return New(cfg), nil
+}
+
 // NewDefault is New(Defaults()).
 func NewDefault() *Runtime { return New(Defaults()) }
 
 // Contexts returns the context-pool size.
 func (rt *Runtime) Contexts() int { return rt.cfg.Contexts }
+
+// FreeContexts returns the number of currently unreserved context tokens.
+// It is a point-in-time observation, not a reservation — a caller that
+// needs the token must Probe — and it does not count as a probe, so
+// admission-style peeks (is any parallelism even available?) don't
+// distort the division grant rate.
+func (rt *Runtime) FreeContexts() int {
+	rt.mu.Lock()
+	n := len(rt.free)
+	rt.mu.Unlock()
+	return n
+}
+
+// CanDivide reports whether a probe made now would succeed: a context
+// token is free AND the death-rate throttle is quiescent. Like
+// FreeContexts it is a non-counting peek, so admission checks that use
+// it leave the grant rate to real offers — and unlike FreeContexts it
+// agrees with Probe's full condition, so a caller that degrades on
+// !CanDivide won't pour doomed offers into a throttled runtime.
+func (rt *Runtime) CanDivide() bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.cfg.Throttle && rt.deathsInWindowLocked() >= rt.cfg.DeathThreshold {
+		return false
+	}
+	return len(rt.free) > 0
+}
 
 // Probe attempts to reserve a context token: the paper's nthr condition.
 // It succeeds only when the pool has a free token and the death-rate
@@ -235,7 +318,14 @@ func (rt *Runtime) deathsInWindowLocked() int {
 // Spawn consumes a reserved token and starts fn as a worker goroutine on
 // it. The worker's return is the kthr: the token goes back on the LIFO
 // stack and the death is recorded for the throttle.
-func (rt *Runtime) Spawn(c *Context, fn func()) {
+func (rt *Runtime) Spawn(c *Context, fn func()) { rt.spawnOn(c, fn, nil) }
+
+// spawnOn is Spawn with an optional extra join group: when g is non-nil
+// the worker is also counted in g, so Group.Join can wait for exactly its
+// own workers while Runtime.Join still covers everyone. The extra Done
+// fires after the token release, so by the time a group join returns its
+// workers' deaths are visible in the runtime's stats and pool.
+func (rt *Runtime) spawnOn(c *Context, fn func(), g *sync.WaitGroup) {
 	if c == nil || c.rt != rt {
 		panic("capsule: Spawn with foreign or nil context")
 	}
@@ -248,8 +338,16 @@ func (rt *Runtime) Spawn(c *Context, fn func()) {
 		}
 	}
 	rt.wg.Add(1)
+	if g != nil {
+		g.Add(1)
+	}
 	go func() {
-		defer rt.release(c.id)
+		defer func() {
+			rt.release(c.id)
+			if g != nil {
+				g.Done()
+			}
+		}()
 		fn()
 	}()
 }

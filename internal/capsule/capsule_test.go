@@ -26,6 +26,79 @@ func TestDefaultsApplied(t *testing.T) {
 	}
 }
 
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"zero value (defaults)", Config{}, true},
+		{"defaults", Defaults(), true},
+		{"explicit", Config{Contexts: 2, DeathThreshold: 1, LockStripes: 8, DeathWindow: time.Millisecond}, true},
+		{"negative contexts", Config{Contexts: -1}, false},
+		{"negative window", Config{DeathWindow: -time.Microsecond}, false},
+		{"negative threshold", Config{DeathThreshold: -3}, false},
+		{"negative stripes", Config{LockStripes: -256}, false},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: Validate() = %v, want nil", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: Validate() = nil, want error", tc.name)
+		}
+		rt, nerr := NewValidated(tc.cfg)
+		if tc.ok && (nerr != nil || rt == nil) {
+			t.Errorf("%s: NewValidated failed: %v", tc.name, nerr)
+		}
+		if !tc.ok && nerr == nil {
+			t.Errorf("%s: NewValidated accepted an invalid config", tc.name)
+		}
+	}
+}
+
+func TestNewPanicsOnInvalidConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted Contexts = -1 without panicking")
+		}
+	}()
+	New(Config{Contexts: -1})
+}
+
+func TestStatsDelta(t *testing.T) {
+	rt := quiet(2)
+	rt.Divide(func() {})
+	rt.Join()
+	before := rt.Stats()
+	a, _ := rt.Probe()
+	b, _ := rt.Probe()
+	if _, ok := rt.Probe(); ok {
+		t.Fatal("probe granted beyond the pool")
+	}
+	rt.Release(a)
+	rt.Release(b)
+	rt.Divide(func() {})
+	rt.Join()
+	d := rt.Stats().Delta(before)
+	if d.Probes != 4 || d.Granted != 3 || d.NoCtxDenies != 1 {
+		t.Fatalf("delta = %+v, want 4 probes / 3 granted / 1 deny since snapshot", d)
+	}
+	if d.Deaths != 1 || d.TotalWorkers != 1 {
+		t.Fatalf("delta = %+v, want 1 death / 1 worker since snapshot", d)
+	}
+	// Deltas of two identical snapshots are all-zero counters.
+	s := rt.Stats()
+	z := s.Delta(s)
+	if z.Probes != 0 || z.Granted != 0 || z.Deaths != 0 || z.LockAcquires != 0 {
+		t.Fatalf("self-delta = %+v, want zero counters", z)
+	}
+	if z.PeakWorkers != s.PeakWorkers {
+		t.Fatalf("self-delta peak = %d, want carried through as %d", z.PeakWorkers, s.PeakWorkers)
+	}
+}
+
 func TestProbeBoundedByContexts(t *testing.T) {
 	rt := quiet(3)
 	var held []*Context
@@ -48,6 +121,25 @@ func TestProbeBoundedByContexts(t *testing.T) {
 	}
 	if _, ok := rt.Probe(); !ok {
 		t.Fatal("probe refused after releases refilled the pool")
+	}
+}
+
+func TestFreeContextsPeeksWithoutProbing(t *testing.T) {
+	rt := quiet(3)
+	if got := rt.FreeContexts(); got != 3 {
+		t.Fatalf("FreeContexts = %d, want 3", got)
+	}
+	c, _ := rt.Probe()
+	if got := rt.FreeContexts(); got != 2 {
+		t.Fatalf("FreeContexts after probe = %d, want 2", got)
+	}
+	rt.Release(c)
+	if got := rt.FreeContexts(); got != 3 {
+		t.Fatalf("FreeContexts after release = %d, want 3", got)
+	}
+	// Peeking is not probing: only the one real Probe is counted.
+	if s := rt.Stats(); s.Probes != 1 {
+		t.Fatalf("Probes = %d after peeks, want 1", s.Probes)
 	}
 }
 
@@ -120,6 +212,51 @@ func TestDeathRateThrottle(t *testing.T) {
 	clock.Store(time.Microsecond.Nanoseconds() + 1)
 	if _, ok := rt.Probe(); !ok {
 		t.Fatal("probe refused after the death window expired")
+	}
+}
+
+// TestCanDivideMatchesProbeCondition: the non-counting peek must agree
+// with Probe on both refusal reasons — empty pool AND tripped throttle —
+// and must not count as a probe.
+func TestCanDivideMatchesProbeCondition(t *testing.T) {
+	var clock atomic.Int64
+	rt := New(Config{Contexts: 4, Throttle: true, DeathWindow: time.Microsecond})
+	rt.now = func() int64 { return clock.Load() }
+
+	if !rt.CanDivide() {
+		t.Fatal("CanDivide false on a fresh runtime")
+	}
+	// Trip the throttle (threshold is 2) with tokens still free.
+	for i := 0; i < 2; i++ {
+		c, _ := rt.Probe()
+		rt.Spawn(c, func() {})
+		rt.Join()
+	}
+	if rt.FreeContexts() != 4 {
+		t.Fatalf("FreeContexts = %d, want 4 (all workers dead)", rt.FreeContexts())
+	}
+	if rt.CanDivide() {
+		t.Fatal("CanDivide true while the throttle is tripped")
+	}
+	clock.Store(time.Microsecond.Nanoseconds() + 1)
+	if !rt.CanDivide() {
+		t.Fatal("CanDivide false after the death window expired")
+	}
+	// Empty the pool: CanDivide must go false again.
+	var held []*Context
+	for i := 0; i < 4; i++ {
+		c, _ := rt.Probe()
+		held = append(held, c)
+	}
+	if rt.CanDivide() {
+		t.Fatal("CanDivide true with an empty pool")
+	}
+	for _, c := range held {
+		rt.Release(c)
+	}
+	// Peeks don't probe: 2 throttle-trip probes + 4 holds only.
+	if s := rt.Stats(); s.Probes != 6 {
+		t.Fatalf("Probes = %d after peeks, want 6", s.Probes)
 	}
 }
 
@@ -317,5 +454,129 @@ func TestProbeDivideContention(t *testing.T) {
 	}
 	if s.Granted < s.TotalWorkers {
 		t.Fatalf("granted (%d) < workers spawned (%d)", s.Granted, s.TotalWorkers)
+	}
+}
+
+// TestStormNeverExceedsContexts is the sustained-contention invariant: a
+// Probe/Divide storm from many goroutines must never have more than
+// Contexts workers alive at once, and the pool must come back whole (all
+// ids present, none duplicated) when the storm ends.
+func TestStormNeverExceedsContexts(t *testing.T) {
+	const contexts, stormers, rounds = 4, 32, 300
+	rt := quiet(contexts)
+	var live, violations, spawned atomic.Int64
+	work := func() {
+		if cur := live.Add(1); cur > contexts {
+			violations.Add(1)
+		}
+		spawned.Add(1)
+		live.Add(-1)
+	}
+	var outer sync.WaitGroup
+	for g := 0; g < stormers; g++ {
+		outer.Add(1)
+		go func(g int) {
+			defer outer.Done()
+			for i := 0; i < rounds; i++ {
+				switch (g + i) % 3 {
+				case 0:
+					rt.TryDivide(work)
+				case 1:
+					if c, ok := rt.Probe(); ok {
+						rt.Spawn(c, work)
+					}
+				default:
+					if c, ok := rt.Probe(); ok {
+						rt.Release(c)
+					}
+				}
+			}
+		}(g)
+	}
+	outer.Wait()
+	rt.Join()
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("%d workers observed beyond the %d-context pool", v, contexts)
+	}
+	if spawned.Load() == 0 {
+		t.Fatal("storm spawned no workers at all")
+	}
+	if s := rt.Stats(); s.PeakWorkers > contexts {
+		t.Fatalf("PeakWorkers = %d, want <= %d", s.PeakWorkers, contexts)
+	}
+	// Pool integrity: exactly Contexts grantable, all ids distinct.
+	seen := map[int]bool{}
+	var held []*Context
+	for i := 0; i < contexts; i++ {
+		c, ok := rt.Probe()
+		if !ok {
+			t.Fatalf("pool lost tokens: only %d of %d grantable", i, contexts)
+		}
+		if seen[c.ID()] {
+			t.Fatalf("duplicate context id %d in the pool", c.ID())
+		}
+		seen[c.ID()] = true
+		held = append(held, c)
+	}
+	if _, ok := rt.Probe(); ok {
+		t.Fatal("pool gained tokens: granted beyond Contexts")
+	}
+	for _, c := range held {
+		rt.Release(c)
+	}
+}
+
+// TestResetStatsDuringStorm runs ResetStats concurrently with a
+// Divide/Probe storm: it must stay race-free (the -race CI job is the
+// real assertion) and must never damage the context pool.
+func TestResetStatsDuringStorm(t *testing.T) {
+	const contexts = 4
+	rt := New(Config{Contexts: contexts, Throttle: true, DeathWindow: 20 * time.Microsecond})
+	stop := make(chan struct{})
+	var resets sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		resets.Add(1)
+		go func() {
+			defer resets.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					rt.ResetStats()
+					_ = rt.Stats()
+				}
+			}
+		}()
+	}
+	var outer sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		outer.Add(1)
+		go func() {
+			defer outer.Done()
+			for i := 0; i < 200; i++ {
+				rt.Divide(func() {})
+				rt.Lock(uint64(i))
+				rt.Unlock(uint64(i))
+			}
+		}()
+	}
+	outer.Wait()
+	close(stop)
+	resets.Wait()
+	rt.Join()
+	time.Sleep(time.Millisecond) // let the 20µs death window drain
+	// The pool must be intact after racing resets.
+	var held []*Context
+	for i := 0; i < contexts; i++ {
+		if c, ok := rt.Probe(); ok {
+			held = append(held, c)
+		}
+	}
+	if len(held) != contexts {
+		t.Fatalf("pool holds %d tokens after reset storm, want %d", len(held), contexts)
+	}
+	for _, c := range held {
+		rt.Release(c)
 	}
 }

@@ -1,0 +1,140 @@
+package capsule
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// A Domain is a division-capable execution scope: the method set component
+// programs are written against. Three implementations exist, all backed by
+// the same Runtime (one context pool, one throttle, one lock table):
+//
+//   - *Runtime itself — the whole-process scope whose Join waits for every
+//     worker, the right domain for one-program-at-a-time tools (caprun);
+//   - *Group — a per-task join scope for servers running many component
+//     programs concurrently on one runtime: divisions compete for the
+//     shared pool, but Join waits only for the group's own workers;
+//   - Sequential — the fully-degraded scope whose divisions always run
+//     inline, for callers that decided (e.g. at request admission) not to
+//     offer parallelism at all.
+type Domain interface {
+	// Divide offers fn at a division point: spawn on a fresh worker
+	// (true) or run inline to completion (false).
+	Divide(fn func()) bool
+	// TryDivide offers fn and does nothing on refusal (the caller's
+	// else-branch interleaves its own unit of work).
+	TryDivide(fn func()) bool
+	// Join blocks until every worker spawned through this domain has died.
+	Join()
+	// Lock/Unlock are the shared striped lock table (mlock/munlock).
+	Lock(key uint64)
+	Unlock(key uint64)
+}
+
+var (
+	_ Domain = (*Runtime)(nil)
+	_ Domain = (*Group)(nil)
+	_ Domain = seqDomain{}
+)
+
+// GroupStats are a Group's own division counters — the per-task slice of
+// the runtime-wide Stats, cheap enough to keep on every request.
+type GroupStats struct {
+	Probes     uint64 `json:"probes"`      // division offers made through the group
+	Granted    uint64 `json:"granted"`     // offers that spawned a worker
+	InlineRuns uint64 `json:"inline_runs"` // Divide offers run inline after refusal
+}
+
+// GrantRate is the fraction of the group's division offers that moved work
+// to a fresh worker — the per-task "% divisions allowed".
+func (s GroupStats) GrantRate() float64 {
+	if s.Probes == 0 {
+		return 0
+	}
+	return float64(s.Granted) / float64(s.Probes)
+}
+
+// A Group is a join scope on a shared Runtime. Its divisions draw from the
+// runtime's context pool and are throttled and counted exactly like the
+// runtime's own, but Join waits only for workers spawned through this
+// group — so any number of component programs can run concurrently on one
+// runtime without their joins entangling. The zero restriction carried
+// over from Runtime.Join applies per group: only the task that owns the
+// group may Join it, and not concurrently with its own new top-level
+// divisions.
+type Group struct {
+	rt *Runtime
+	wg sync.WaitGroup
+
+	probes  atomic.Uint64
+	granted atomic.Uint64
+	inline  atomic.Uint64
+}
+
+// NewGroup returns a fresh join scope on rt.
+func (rt *Runtime) NewGroup() *Group { return &Group{rt: rt} }
+
+// Runtime returns the runtime this group divides on.
+func (g *Group) Runtime() *Runtime { return g.rt }
+
+// TryDivide probes the shared runtime and, on success, spawns fn as a
+// worker counted in this group. On refusal it does nothing and returns
+// false.
+func (g *Group) TryDivide(fn func()) bool {
+	g.probes.Add(1)
+	c, ok := g.rt.Probe()
+	if !ok {
+		return false
+	}
+	g.granted.Add(1)
+	g.rt.spawnOn(c, fn, &g.wg)
+	return true
+}
+
+// Divide probes and either spawns fn on a group worker (true) or runs it
+// inline on the caller (false).
+func (g *Group) Divide(fn func()) bool {
+	if g.TryDivide(fn) {
+		return true
+	}
+	g.inline.Add(1)
+	g.rt.inlineRuns.Add(1)
+	fn()
+	return false
+}
+
+// Join blocks until every worker spawned through this group has died.
+// Workers of other groups (or of the runtime directly) are not waited on.
+func (g *Group) Join() { g.wg.Wait() }
+
+// Lock acquires the shared lock-table entry for key.
+func (g *Group) Lock(key uint64) { g.rt.Lock(key) }
+
+// Unlock releases the shared lock-table entry for key.
+func (g *Group) Unlock(key uint64) { g.rt.Unlock(key) }
+
+// Stats snapshots the group's own division counters.
+func (g *Group) Stats() GroupStats {
+	return GroupStats{
+		Probes:     g.probes.Load(),
+		Granted:    g.granted.Load(),
+		InlineRuns: g.inline.Load(),
+	}
+}
+
+// Sequential returns the fully-degraded Domain on rt: every Divide runs
+// its work inline, every TryDivide is refused, and Join is a no-op (there
+// are never any workers). It touches no division counters — a sequential
+// task makes no offers, so it must not dilute the grant rate — but still
+// uses the shared lock table, so sequential and parallel tasks stay
+// mutually correct. This is the request-admission analogue of the CapC
+// compiler's sequential fallback path.
+func (rt *Runtime) Sequential() Domain { return seqDomain{rt} }
+
+type seqDomain struct{ rt *Runtime }
+
+func (d seqDomain) Divide(fn func()) bool    { fn(); return false }
+func (d seqDomain) TryDivide(fn func()) bool { return false }
+func (d seqDomain) Join()                    {}
+func (d seqDomain) Lock(key uint64)          { d.rt.Lock(key) }
+func (d seqDomain) Unlock(key uint64)        { d.rt.Unlock(key) }

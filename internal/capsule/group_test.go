@@ -1,0 +1,136 @@
+package capsule
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGroupJoinWaitsOnlyOwnWorkers(t *testing.T) {
+	rt := quiet(4)
+	g1, g2 := rt.NewGroup(), rt.NewGroup()
+
+	block := make(chan struct{})
+	started := make(chan struct{})
+	if !g1.TryDivide(func() { close(started); <-block }) {
+		t.Fatal("g1 division refused with a free pool")
+	}
+	<-started
+
+	var n atomic.Int64
+	for i := 0; i < 8; i++ {
+		g2.Divide(func() { n.Add(1) })
+	}
+	// g2.Join must return while g1's worker is still blocked.
+	g2.Join()
+	if got := n.Load(); got != 8 {
+		t.Fatalf("g2 work after Join = %d, want 8", got)
+	}
+
+	close(block)
+	g1.Join()
+	rt.Join() // runtime-wide join still covers both groups
+	s := rt.Stats()
+	if s.Deaths != s.TotalWorkers {
+		t.Fatalf("deaths (%d) != workers (%d) after all joins", s.Deaths, s.TotalWorkers)
+	}
+}
+
+func TestGroupStatsCountOwnDivisions(t *testing.T) {
+	rt := quiet(1)
+	g := rt.NewGroup()
+	hold, _ := rt.Probe() // empty the pool: every offer is refused
+	ran := 0
+	if g.Divide(func() { ran++ }) {
+		t.Fatal("Divide spawned with an empty pool")
+	}
+	if g.TryDivide(func() { ran++ }) {
+		t.Fatal("TryDivide spawned with an empty pool")
+	}
+	rt.Release(hold)
+	g.Divide(func() {})
+	g.Join()
+
+	gs := g.Stats()
+	if gs.Probes != 3 || gs.Granted != 1 || gs.InlineRuns != 1 {
+		t.Fatalf("group stats = %+v, want 3 probes / 1 granted / 1 inline", gs)
+	}
+	if got := gs.GrantRate(); got <= 0 || got >= 1 {
+		t.Fatalf("grant rate = %v, want in (0,1)", got)
+	}
+	if ran != 1 {
+		t.Fatalf("inline work ran %d times, want 1", ran)
+	}
+	// The group's offers are also visible runtime-wide.
+	if s := rt.Stats(); s.Probes != 4 || s.InlineRuns != 1 { // +1 probe: the held token
+		t.Fatalf("runtime stats = %+v, want the group's probes included", s)
+	}
+}
+
+func TestSequentialDomainNeverDivides(t *testing.T) {
+	rt := quiet(4)
+	seq := rt.Sequential()
+	ran := 0
+	if seq.Divide(func() { ran++ }) {
+		t.Fatal("sequential Divide claimed a spawn")
+	}
+	if seq.TryDivide(func() { ran++ }) {
+		t.Fatal("sequential TryDivide claimed a spawn")
+	}
+	seq.Join() // no-op, must not block
+	if ran != 1 {
+		t.Fatalf("ran = %d, want 1 (Divide inline only)", ran)
+	}
+	// A sequential task makes no offers: division counters untouched.
+	if s := rt.Stats(); s.Probes != 0 || s.InlineRuns != 0 || s.TotalWorkers != 0 {
+		t.Fatalf("stats = %+v, want untouched", s)
+	}
+	// But the lock table is shared and counted.
+	seq.Lock(7)
+	seq.Unlock(7)
+	if s := rt.Stats(); s.LockAcquires != 1 {
+		t.Fatalf("LockAcquires = %d, want 1", s.LockAcquires)
+	}
+}
+
+// TestConcurrentGroupsShareThePool runs many groups at once and checks the
+// shared pool bounds all of them together.
+func TestConcurrentGroupsShareThePool(t *testing.T) {
+	const contexts, groups, divisions = 4, 8, 200
+	rt := quiet(contexts)
+	var live, peak, total atomic.Int64
+	var outer sync.WaitGroup
+	for i := 0; i < groups; i++ {
+		outer.Add(1)
+		go func() {
+			defer outer.Done()
+			g := rt.NewGroup()
+			for j := 0; j < divisions; j++ {
+				g.Divide(func() {
+					cur := live.Add(1)
+					for {
+						p := peak.Load()
+						if cur <= p || peak.CompareAndSwap(p, cur) {
+							break
+						}
+					}
+					total.Add(1)
+					live.Add(-1)
+				})
+			}
+			g.Join()
+		}()
+	}
+	outer.Wait()
+	if got := total.Load(); got != groups*divisions {
+		t.Fatalf("total work = %d, want %d", got, groups*divisions)
+	}
+	if p := peak.Load(); p > contexts+groups {
+		// Spawned workers are capped by the pool; inline runs add at most
+		// one live execution per group goroutine.
+		t.Fatalf("peak live executions = %d, want <= %d", p, contexts+groups)
+	}
+	if s := rt.Stats(); s.PeakWorkers > contexts {
+		t.Fatalf("PeakWorkers = %d, want <= %d (pool bound)", s.PeakWorkers, contexts)
+	}
+}

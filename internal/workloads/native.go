@@ -28,17 +28,17 @@ import (
 // qsNativeCutoff matches the CapC program's insertion-sort cutoff.
 const qsNativeCutoff = 8
 
-// NativeQuickSort sorts a copy of list on rt and returns it. Division
+// NativeQuickSort sorts a copy of list on dom and returns it. Division
 // points mirror quickSortSrc: after each Hoare partition the left
 // sub-range is offered to a co-worker while the caller keeps the right.
-func NativeQuickSort(rt *capsule.Runtime, list []int64) []int64 {
+func NativeQuickSort(dom capsule.Domain, list []int64) []int64 {
 	out := append([]int64(nil), list...)
-	nativeQSort(rt, out, 0, len(out))
-	rt.Join()
+	nativeQSort(dom, out, 0, len(out))
+	dom.Join()
 	return out
 }
 
-func nativeQSort(rt *capsule.Runtime, arr []int64, lo, hi int) {
+func nativeQSort(dom capsule.Domain, arr []int64, lo, hi int) {
 	for hi-lo > qsNativeCutoff {
 		// Middle-element pivot, Hoare partition.
 		p := arr[(lo+hi)/2]
@@ -60,7 +60,7 @@ func nativeQSort(rt *capsule.Runtime, arr []int64, lo, hi int) {
 		// [i, hi). The ranges are disjoint (j < i), so parent and child
 		// never touch the same element.
 		left, right := lo, j+1
-		rt.Divide(func() { nativeQSort(rt, arr, left, right) })
+		dom.Divide(func() { nativeQSort(dom, arr, left, right) })
 		lo = i
 	}
 	// Insertion sort for small runs.
@@ -75,34 +75,34 @@ func nativeQSort(rt *capsule.Runtime, arr []int64, lo, hi int) {
 	}
 }
 
-// NativeDijkstra runs the Fig. 1 worker algorithm on rt: each worker
+// NativeDijkstra runs the Fig. 1 worker algorithm on dom: each worker
 // carries its path length, improves the locked per-node distance or dies,
 // and probes the runtime at every child edge. The monotone relaxation
 // makes the returned distances equal to RefDijkstra under any
 // interleaving.
-func NativeDijkstra(rt *capsule.Runtime, in *DijkstraInput) []int64 {
+func NativeDijkstra(dom capsule.Domain, in *DijkstraInput) []int64 {
 	dist := make([]int64, in.N)
 	for i := range dist {
 		dist[i] = DijkstraInf
 	}
 	var explore func(node int32, d int64)
 	explore = func(node int32, d int64) {
-		rt.Lock(uint64(node))
+		dom.Lock(uint64(node))
 		if d >= dist[node] {
 			// Sub-optimal path: this worker dies (Fig. 1, path A.C.E).
-			rt.Unlock(uint64(node))
+			dom.Unlock(uint64(node))
 			return
 		}
 		dist[node] = d
-		rt.Unlock(uint64(node))
+		dom.Unlock(uint64(node))
 		for e := in.EOff[node]; e < in.EOff[node+1]; e++ {
 			// Probe the architecture at every child path (Fig. 2).
 			v, nd := in.EDst[e], d+int64(in.EWgt[e])
-			rt.Divide(func() { explore(v, nd) })
+			dom.Divide(func() { explore(v, nd) })
 		}
 	}
 	explore(int32(in.Source), 0)
-	rt.Join()
+	dom.Join()
 	return dist
 }
 
@@ -111,7 +111,7 @@ func NativeDijkstra(rt *capsule.Runtime, in *DijkstraInput) []int64 {
 // RefLZWMatch(in, LZWChunk). The worker constantly offers the upper half
 // of its remaining range; on probe failure it matches one chunk itself
 // and probes again — the paper's throttle-motivating pattern.
-func NativeLZW(rt *capsule.Runtime, in *LZWInput) int64 {
+func NativeLZW(dom capsule.Domain, in *LZWInput) int64 {
 	var total atomic.Int64
 	var worker func(lo, hi int)
 	worker = func(lo, hi int) {
@@ -122,7 +122,7 @@ func NativeLZW(rt *capsule.Runtime, in *LZWInput) int64 {
 				break
 			}
 			m, h := mid, hi
-			if rt.TryDivide(func() { worker(m, h) }) {
+			if dom.TryDivide(func() { worker(m, h) }) {
 				hi = mid
 			} else {
 				// Probe failed: match one chunk ourselves, probe again.
@@ -135,7 +135,7 @@ func NativeLZW(rt *capsule.Runtime, in *LZWInput) int64 {
 		}
 	}
 	worker(0, len(in.Text))
-	rt.Join()
+	dom.Join()
 	return total.Load()
 }
 
@@ -162,12 +162,12 @@ func lzwMatchRange(in *LZWInput, lo, hi int) int64 {
 	return codes
 }
 
-// NativePerceptron trains the perceptron on rt and returns the final
+// NativePerceptron trains the perceptron on dom and returns the final
 // weights and mistake count, equal to RefPerceptron(in). The forward dot
 // product and the weight update halve their neuron range at every probe,
 // the paper's Fig. 7 pattern; partial sums are exact integer adds and
 // update ranges are disjoint, so the result is interleaving-independent.
-func NativePerceptron(rt *capsule.Runtime, in *PerceptronInput) (w []int64, mistakes int64) {
+func NativePerceptron(dom capsule.Domain, in *PerceptronInput) (w []int64, mistakes int64) {
 	w = append([]int64(nil), in.W0...)
 	var acc atomic.Int64
 
@@ -176,7 +176,7 @@ func NativePerceptron(rt *capsule.Runtime, in *PerceptronInput) (w []int64, mist
 		for hi-lo > PerceptronChunk {
 			mid := (lo + hi) / 2
 			m, h := mid, hi
-			if rt.TryDivide(func() { forward(m, h, x) }) {
+			if dom.TryDivide(func() { forward(m, h, x) }) {
 				hi = mid
 			} else {
 				acc.Add(dotQ8(w, x, lo, lo+PerceptronChunk))
@@ -192,7 +192,7 @@ func NativePerceptron(rt *capsule.Runtime, in *PerceptronInput) (w []int64, mist
 		for hi-lo > PerceptronChunk {
 			mid := (lo + hi) / 2
 			m, h := mid, hi
-			if rt.TryDivide(func() { update(m, h, x, t) }) {
+			if dom.TryDivide(func() { update(m, h, x, t) }) {
 				hi = mid
 			} else {
 				updQ8(w, x, t, lo, lo+PerceptronChunk)
@@ -208,7 +208,7 @@ func NativePerceptron(rt *capsule.Runtime, in *PerceptronInput) (w []int64, mist
 		for p := 0; p < in.Patterns; p++ {
 			acc.Store(0)
 			forward(0, in.Neurons, in.X[p])
-			rt.Join()
+			dom.Join()
 			pred := int64(1)
 			if acc.Load() < 0 {
 				pred = -1
@@ -216,7 +216,7 @@ func NativePerceptron(rt *capsule.Runtime, in *PerceptronInput) (w []int64, mist
 			if pred != in.Y[p] {
 				mistakes++
 				update(0, in.Neurons, in.X[p], in.Y[p])
-				rt.Join()
+				dom.Join()
 			}
 		}
 	}
@@ -256,14 +256,15 @@ type NativeResult struct {
 
 // RunNative executes one native workload on rt with inputs generated the
 // same way cmd/capsim generates them (same generator, same meaning of n
-// and seed), validates the result against the Go reference, and snapshots
-// stats. rt's stats are reset first so the snapshot covers only this run.
+// and seed), validates the result against the Go reference, and reports
+// the stats delta across the run — so a shared runtime's cumulative
+// counters are left untouched and the result still covers only this run.
 func RunNative(rt *capsule.Runtime, workload string, n int, seed int64) (*NativeResult, error) {
 	// Seed exactly like cmd/capsim (rand.NewSource(seed), not rngFor) so
 	// the same -workload/-n/-seed triple names the same input in both
 	// tools and their outputs are directly comparable.
 	rng := rand.New(rand.NewSource(seed))
-	rt.ResetStats()
+	before := rt.Stats()
 	res := &NativeResult{Workload: workload}
 	timed := func(fn func()) {
 		start := time.Now()
@@ -284,7 +285,7 @@ func RunNative(rt *capsule.Runtime, workload string, n int, seed int64) (*Native
 		}
 		res.Output = fmt.Sprintf("sorted %d elements (checksum %d)", len(got), checksum(got))
 	case "dijkstra":
-		in := GenGraph(rng, n, 4, 9)
+		in := GenGraph(rng, n, GenDijkstraMaxDeg, GenDijkstraMaxW)
 		var got []int64
 		timed(func() { got = NativeDijkstra(rt, in) })
 		want := RefDijkstra(in)
@@ -303,7 +304,7 @@ func RunNative(rt *capsule.Runtime, workload string, n int, seed int64) (*Native
 		}
 		res.Output = fmt.Sprintf("emitted %d codes for %d symbols", got, len(in.Text))
 	case "perceptron":
-		in := GenPerceptron(rng, n, 3, 1)
+		in := GenPerceptron(rng, n, GenPerceptronPats, GenPerceptronEpochs)
 		var gotW []int64
 		var gotM int64
 		timed(func() { gotW, gotM = NativePerceptron(rt, in) })
@@ -320,7 +321,7 @@ func RunNative(rt *capsule.Runtime, workload string, n int, seed int64) (*Native
 	default:
 		return nil, fmt.Errorf("unknown native workload %q (have %v)", workload, NativeNames())
 	}
-	res.Stats = rt.Stats()
+	res.Stats = rt.Stats().Delta(before)
 	return res, nil
 }
 

@@ -1,0 +1,104 @@
+package workloads
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/capsule"
+)
+
+// TestRunRequestDeterministicAcrossDomains checks the serving contract:
+// the same (workload, n, seed) yields the same checksum on the parallel
+// runtime, on a per-request Group and on the degraded Sequential domain.
+func TestRunRequestDeterministicAcrossDomains(t *testing.T) {
+	rt := capsule.New(capsule.Config{Contexts: 4, Throttle: true})
+	for _, wl := range NativeNames() {
+		want, err := RunRequest(rt.Sequential(), wl, 300, 42)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", wl, err)
+		}
+		if want.Checksum == 0 {
+			t.Fatalf("%s: zero checksum (suspicious for n=300)", wl)
+		}
+		for i := 0; i < 3; i++ {
+			got, err := RunRequest(rt.NewGroup(), wl, 300, 42)
+			if err != nil {
+				t.Fatalf("%s group run %d: %v", wl, i, err)
+			}
+			if got.Checksum != want.Checksum {
+				t.Fatalf("%s: group checksum %d != sequential %d", wl, got.Checksum, want.Checksum)
+			}
+		}
+		got, err := RunRequest(rt, wl, 300, 42)
+		if err != nil {
+			t.Fatalf("%s runtime: %v", wl, err)
+		}
+		if got.Checksum != want.Checksum {
+			t.Fatalf("%s: runtime checksum %d != sequential %d", wl, got.Checksum, want.Checksum)
+		}
+	}
+}
+
+// TestRunRequestMatchesRunNative ties the serving checksums to the
+// validated path: RunNative (which cross-checks against the Go
+// references) must agree with RunRequest for the same triple.
+func TestRunRequestMatchesRunNative(t *testing.T) {
+	for _, wl := range NativeNames() {
+		rt := capsule.New(capsule.Config{Contexts: 4, Throttle: true})
+		if _, err := RunNative(rt, wl, 200, 7); err != nil {
+			t.Fatalf("%s: RunNative failed validation: %v", wl, err)
+		}
+		rt.Join()
+		if _, err := RunRequest(rt.NewGroup(), wl, 200, 7); err != nil {
+			t.Fatalf("%s: RunRequest: %v", wl, err)
+		}
+	}
+}
+
+func TestRunRequestErrors(t *testing.T) {
+	rt := capsule.New(capsule.Config{Contexts: 2})
+	if _, err := RunRequest(rt.NewGroup(), "nosuch", 100, 1); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if _, err := RunRequest(rt.NewGroup(), "quicksort", 0, 1); err == nil {
+		t.Fatal("n = 0 accepted")
+	}
+	if _, err := RunRequest(rt.NewGroup(), "quicksort", -5, 1); err == nil {
+		t.Fatal("negative n accepted")
+	}
+}
+
+// TestRunRequestConcurrentGroups is the serving pattern in miniature:
+// many concurrent requests, each with its own Group, one shared runtime.
+func TestRunRequestConcurrentGroups(t *testing.T) {
+	rt := capsule.New(capsule.Config{Contexts: 4, Throttle: true})
+	names := NativeNames()
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	sums := make([]uint64, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := RunRequest(rt.NewGroup(), names[i%len(names)], 200, 9)
+			if err != nil {
+				errs <- err
+				return
+			}
+			sums[i] = res.Checksum
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		for j := i + len(names); j < 16; j += len(names) {
+			if sums[i] != sums[j] {
+				t.Fatalf("request %d and %d (same workload/n/seed) disagree: %d != %d", i, j, sums[i], sums[j])
+			}
+		}
+	}
+	rt.Join()
+}

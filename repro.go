@@ -32,6 +32,7 @@ package repro
 
 import (
 	"repro/internal/asm"
+	"repro/internal/capserve"
 	"repro/internal/capsule"
 	"repro/internal/core"
 	"repro/internal/cpu"
@@ -110,17 +111,36 @@ func Experiments() []string { return exp.IDs() }
 //
 // A Runtime is one capsule execution domain; Probe/Divide follow the
 // paper's protocol (divide only when a context token is free and the
-// death-rate throttle is quiescent, run inline otherwise).
+// death-rate throttle is quiescent, run inline otherwise). A Domain is
+// the division-capable scope component code is written against: the
+// Runtime itself, a per-task Group (shared pool, private join), or the
+// Sequential fallback.
 type (
 	Runtime       = capsule.Runtime
 	RuntimeConfig = capsule.Config
 	RuntimeStats  = capsule.Stats
+	Domain        = capsule.Domain
+	Group         = capsule.Group
 )
 
 // NewRuntime builds a native capsule runtime; zero fields of cfg take the
-// documented defaults (GOMAXPROCS contexts, 100µs death window).
-func NewRuntime(cfg RuntimeConfig) *Runtime { return capsule.New(cfg) }
+// documented defaults (GOMAXPROCS contexts, 100µs death window). Invalid
+// (negative) fields return an error.
+func NewRuntime(cfg RuntimeConfig) (*Runtime, error) { return capsule.NewValidated(cfg) }
 
 // DefaultRuntime builds a native runtime with the standard configuration:
 // GOMAXPROCS context tokens and death-rate throttling on.
 func DefaultRuntime() *Runtime { return capsule.NewDefault() }
+
+// Serving layer: every native workload as an HTTP endpoint on a shared
+// Runtime, with probe/divide admission control, bounded-queue load
+// shedding and Prometheus metrics (see internal/capserve and
+// cmd/capserve / cmd/capload).
+type (
+	Server       = capserve.Server
+	ServerConfig = capserve.Config
+)
+
+// NewServer builds the serving layer over a shared native runtime. The
+// returned Server implements http.Handler.
+func NewServer(cfg ServerConfig) (*Server, error) { return capserve.New(cfg) }

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"net/http/httptest"
 	"strings"
 	"testing"
 )
@@ -114,7 +115,13 @@ func TestFacadeExperimentRuns(t *testing.T) {
 }
 
 func TestFacadeNativeRuntime(t *testing.T) {
-	rt := NewRuntime(RuntimeConfig{Contexts: 4})
+	rt, err := NewRuntime(RuntimeConfig{Contexts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRuntime(RuntimeConfig{Contexts: -1}); err == nil {
+		t.Fatal("negative Contexts accepted")
+	}
 	var sum int64
 	done := make(chan int64, 4)
 	for i := 0; i < 4; i++ {
@@ -135,5 +142,25 @@ func TestFacadeNativeRuntime(t *testing.T) {
 	}
 	if DefaultRuntime().Contexts() < 1 {
 		t.Fatal("default runtime has no contexts")
+	}
+}
+
+func TestFacadeServer(t *testing.T) {
+	srv, err := NewServer(ServerConfig{Runtime: DefaultRuntime()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/run/quicksort?n=200&seed=1", nil))
+	if rec.Code != 200 {
+		t.Fatalf("served status %d: %s", rec.Code, rec.Body)
+	}
+	if !strings.Contains(rec.Body.String(), `"checksum"`) {
+		t.Fatalf("served body missing checksum: %s", rec.Body)
+	}
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "capsule_grant_rate") {
+		t.Fatalf("metrics scrape failed: %d", rec.Code)
 	}
 }
