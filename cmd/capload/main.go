@@ -32,6 +32,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/profiling"
 )
 
 type options struct {
@@ -79,7 +81,28 @@ func main() {
 	flag.BoolVar(&o.verify, "verify", true, "assert same (workload,n,seed) always returns the same checksum")
 	flag.Float64Var(&o.minTput, "min-throughput", 0, "exit 2 if 2xx throughput falls below this (req/s)")
 	flag.BoolVar(&o.jsonOut, "json", false, "emit a machine-readable JSON report")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the load generator to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	stopCPU, perr := profiling.StartCPU(*cpuprofile)
+	if perr != nil {
+		fail("%v", perr)
+	}
+	defer stopCPU()
+	defer func() {
+		if err := profiling.WriteHeap(*memprofile); err != nil {
+			fail("%v", err)
+		}
+	}()
+	// The gate exits below bypass deferred calls, so they flush profiles
+	// explicitly first: a failing run is exactly the one worth profiling.
+	flushProfiles := func() {
+		stopCPU()
+		if err := profiling.WriteHeap(*memprofile); err != nil {
+			fail("%v", err)
+		}
+	}
 
 	o.wls = strings.Split(wlList, ",")
 	for i := range o.wls {
@@ -213,12 +236,15 @@ func main() {
 	}
 
 	if mismatch > 0 {
+		flushProfiles()
 		os.Exit(3)
 	}
 	if ok2xx == 0 {
+		flushProfiles()
 		fail("no successful responses")
 	}
 	if o.minTput > 0 && tput < o.minTput {
+		flushProfiles()
 		fmt.Fprintf(os.Stderr, "capload: throughput %.1f req/s below required %.1f\n", tput, o.minTput)
 		os.Exit(2)
 	}

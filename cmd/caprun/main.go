@@ -11,6 +11,7 @@
 //	caprun -workload lzw -n 65536 -stats
 //	caprun -workload perceptron -n 4096 -throttle=false
 //	caprun -workload quicksort -n 100000 -json   # machine-readable, for CI diffs
+//	caprun -workload lzw -n 1048576 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/capsule"
+	"repro/internal/profiling"
 	"repro/internal/workloads"
 )
 
@@ -35,11 +37,23 @@ func main() {
 	window := flag.Duration("window", 100*time.Microsecond, "death-rate window")
 	stats := flag.Bool("stats", false, "print full statistics")
 	jsonOut := flag.Bool("json", false, "emit one machine-readable JSON object instead of text")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (covers the native run)")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
 	if *n <= 0 {
 		fail("-n must be > 0 (got %d)", *n)
 	}
+	stopCPU, err := profiling.StartCPU(*cpuprofile)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer stopCPU()
+	defer func() {
+		if err := profiling.WriteHeap(*memprofile); err != nil {
+			fail("%v", err)
+		}
+	}()
 
 	rt, err := capsule.NewValidated(capsule.Config{
 		Contexts:    *workers,
@@ -49,6 +63,7 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
+	defer rt.Close()
 
 	res, err := workloads.RunNative(rt, *workload, *n, *seed)
 	if err != nil {

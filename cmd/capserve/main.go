@@ -83,11 +83,14 @@ func main() {
 	sctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		// Handlers are still running (drain timeout hit): joining now
-		// would race their divisions against Join's Wait. Report and go.
-		fmt.Fprintf(os.Stderr, "capserve: shutdown: %v (skipping runtime join)\n", err)
+		// Handlers are still running (drain timeout hit): closing now
+		// would block on their in-flight divisions. Report and go.
+		fmt.Fprintf(os.Stderr, "capserve: shutdown: %v (skipping runtime close)\n", err)
 	} else {
-		rt.Join()
+		// Close waits for in-flight workers, then retires the parked
+		// per-context worker goroutines — the full runtime shutdown, of
+		// which the old Join was just the first half.
+		rt.Close()
 	}
 	fmt.Printf("capserve: final stats: %s\n", rt.Stats())
 }

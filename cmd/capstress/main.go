@@ -1,0 +1,245 @@
+// Command capstress measures the capsule runtime's probe/divide hot path
+// and emits a machine-readable BENCH_capsule.json, starting the repo's
+// tracked benchmark trajectory. It runs the internal/capsule/hotpath
+// suite (the live lock-free runtime AND the retained mutex baseline, so
+// every report carries its own before/after), a short Divide storm for
+// the grant rate, and an in-process capserve closed loop for serving
+// throughput.
+//
+// Usage:
+//
+//	capstress                                  # print the report, write BENCH_capsule.json
+//	capstress -out bench.json -serve=false     # hot path only, custom path
+//	capstress -serve-duration 5s -serve-n 4000 # longer serving measurement
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/capserve"
+	"repro/internal/capsule"
+	"repro/internal/capsule/hotpath"
+)
+
+// caseResult is one benchmark's outcome.
+type caseResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	N           int     `json:"n"`
+}
+
+// report is the BENCH_capsule.json schema.
+type report struct {
+	GeneratedBy string  `json:"generated_by"`
+	GoVersion   string  `json:"go_version"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	DurationS   float64 `json:"duration_s"`
+
+	// Results by hotpath case name ("atomic/..." is the live lock-free
+	// runtime, "mutex/..." the pre-rewrite baseline).
+	Results map[string]caseResult `json:"results"`
+
+	// Speedups divide mutex ns/op by atomic ns/op for each shared path.
+	Speedups map[string]float64 `json:"speedups"`
+
+	Storm *stormResult `json:"storm,omitempty"`
+	Serve *serveResult `json:"serve,omitempty"`
+}
+
+type stormResult struct {
+	Goroutines int     `json:"goroutines"`
+	Contexts   int     `json:"contexts"`
+	Probes     uint64  `json:"probes"`
+	Granted    uint64  `json:"granted"`
+	GrantRate  float64 `json:"grant_rate"`
+	DurationS  float64 `json:"duration_s"`
+}
+
+type serveResult struct {
+	Workload  string  `json:"workload"`
+	N         int     `json:"n"`
+	Clients   int     `json:"clients"`
+	Requests  int     `json:"requests"`
+	Errors    int     `json:"errors"`
+	RPS       float64 `json:"rps"`
+	DurationS float64 `json:"duration_s"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_capsule.json", "output path for the JSON report")
+	serve := flag.Bool("serve", true, "also measure in-process capserve throughput")
+	serveDur := flag.Duration("serve-duration", 2*time.Second, "capserve measurement duration")
+	serveN := flag.Int("serve-n", 2000, "capserve request input size")
+	stormDur := flag.Duration("storm-duration", 500*time.Millisecond, "divide-storm duration for the grant rate")
+	flag.Parse()
+
+	start := time.Now()
+	r := report{
+		GeneratedBy: "cmd/capstress",
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Results:     map[string]caseResult{},
+		Speedups:    map[string]float64{},
+	}
+
+	for _, c := range hotpath.Cases() {
+		res := testing.Benchmark(c.Bench)
+		r.Results[c.Name] = caseResult{
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			N:           res.N,
+		}
+		cr := r.Results[c.Name]
+		fmt.Printf("%-36s %12.1f ns/op %6d allocs/op %6d B/op\n", c.Name, cr.NsPerOp, cr.AllocsPerOp, cr.BytesPerOp)
+	}
+	for name, atomicRes := range r.Results {
+		path, ok := strings.CutPrefix(name, "atomic/")
+		if !ok {
+			continue
+		}
+		if mutexRes, ok := r.Results["mutex/"+path]; ok && atomicRes.NsPerOp > 0 {
+			r.Speedups[path] = mutexRes.NsPerOp / atomicRes.NsPerOp
+		}
+	}
+
+	r.Storm = divideStorm(*stormDur)
+	fmt.Printf("storm: %d goroutines on %d contexts: %d probes, grant rate %.3f\n",
+		r.Storm.Goroutines, r.Storm.Contexts, r.Storm.Probes, r.Storm.GrantRate)
+
+	if *serve {
+		s, err := serveLoop(*serveDur, *serveN)
+		if err != nil {
+			fail("capserve measurement: %v", err)
+		}
+		r.Serve = s
+		fmt.Printf("capserve: %d clients x %s on %s n=%d: %.1f req/s (%d requests, %d errors)\n",
+			s.Clients, serveDur, s.Workload, s.N, s.RPS, s.Requests, s.Errors)
+	}
+
+	r.DurationS = time.Since(start).Seconds()
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fail("%v", err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		fail("%v", err)
+	}
+	if err := f.Close(); err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("wrote %s (probe_granted_parallel_4x speedup: %.2fx)\n", *out, r.Speedups["probe_granted_parallel_4x"])
+}
+
+// divideStorm hammers a fresh default-sized runtime with Divide offers
+// from 4×GOMAXPROCS goroutines and reports the paper's "% divisions
+// allowed" under saturation.
+func divideStorm(d time.Duration) *stormResult {
+	rt := capsule.NewDefault()
+	defer rt.Close()
+	goroutines := 4 * runtime.GOMAXPROCS(0)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				rt.Divide(func() {})
+			}
+		}()
+	}
+	start := time.Now()
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	rt.Join()
+	elapsed := time.Since(start)
+	s := rt.Stats()
+	return &stormResult{
+		Goroutines: goroutines,
+		Contexts:   rt.Contexts(),
+		Probes:     s.Probes,
+		Granted:    s.Granted,
+		GrantRate:  s.GrantRate(),
+		DurationS:  elapsed.Seconds(),
+	}
+}
+
+// serveLoop stands up capserve in-process and drives it closed-loop, so
+// the JSON carries an end-to-end serving number next to the
+// microbenchmarks.
+func serveLoop(d time.Duration, n int) (*serveResult, error) {
+	rt := capsule.NewDefault()
+	defer rt.Close()
+	srv, err := capserve.New(capserve.Config{Runtime: rt})
+	if err != nil {
+		return nil, err
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	clients := 2 * runtime.GOMAXPROCS(0)
+	if clients < 8 {
+		clients = 8
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	var requests, errors atomic.Int64
+	deadline := time.Now().Add(d)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; time.Now().Before(deadline); i++ {
+				url := fmt.Sprintf("%s/run/quicksort?n=%d&seed=%d", ts.URL, n, c*1000+i%64)
+				resp, err := client.Get(url)
+				if err != nil {
+					errors.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					requests.Add(1)
+				} else {
+					errors.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	rt.Join()
+	return &serveResult{
+		Workload:  "quicksort",
+		N:         n,
+		Clients:   clients,
+		Requests:  int(requests.Load()),
+		Errors:    int(errors.Load()),
+		RPS:       float64(requests.Load()) / elapsed.Seconds(),
+		DurationS: elapsed.Seconds(),
+	}, nil
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "capstress: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -3,7 +3,6 @@ package capserve
 import (
 	"fmt"
 	"io"
-	"sort"
 	"sync/atomic"
 	"time"
 )
@@ -20,20 +19,38 @@ var latencyBuckets = []float64{
 	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5,
 }
 
+// latencyBucketsNS are the same bounds in integer nanoseconds: the
+// observation path compares the duration directly against them, so
+// recording a latency is pure integer work — no float conversion, no
+// binary-search call, no lock — and cannot re-serialize the request path
+// the runtime just de-serialized.
+var latencyBucketsNS = func() [15]int64 {
+	var ns [15]int64
+	for i, s := range latencyBuckets {
+		ns[i] = int64(s * 1e9)
+	}
+	return ns
+}()
+
 // histogram is a fixed-bucket latency histogram with atomic counters.
 // counts[i] is the number of observations in bucket i (NOT cumulative;
 // cumulation happens at write time, as the text format requires), with
-// the final slot holding the +Inf overflow.
+// the final slot holding the +Inf overflow. observe is two atomic adds:
+// safe for any number of concurrent request goroutines, allocation-free,
+// and mutex-free.
 type histogram struct {
 	counts [16]atomic.Uint64 // len(latencyBuckets)+1
 	sumNS  atomic.Int64
 }
 
 func (h *histogram) observe(d time.Duration) {
-	secs := d.Seconds()
-	i := sort.SearchFloat64s(latencyBuckets, secs)
+	ns := d.Nanoseconds()
+	i := 0
+	for i < len(latencyBucketsNS) && ns > latencyBucketsNS[i] {
+		i++ // first bound >= ns: le is inclusive, as Prometheus requires
+	}
 	h.counts[i].Add(1)
-	h.sumNS.Add(d.Nanoseconds())
+	h.sumNS.Add(ns)
 }
 
 // write emits the _bucket/_sum/_count series for one labelled histogram.

@@ -1,0 +1,166 @@
+// Package baseline preserves the pre-lock-free capsule pool: the
+// mutex-guarded LIFO free list, the slice-pruned death window, and
+// goroutine-per-spawn workers that internal/capsule shipped before the
+// hot path went atomic. It exists so the rewrite's win stays measurable
+// forever — internal/capsule/hotpath benchmarks this implementation and
+// the live one side by side, and cmd/capstress records both in
+// BENCH_capsule.json. It is a benchmark foil, not an API: nothing
+// outside benchmarks should use it.
+//
+// The code is a faithful port of the old Runtime.Probe/Release/Spawn/
+// release, including the per-probe atomic counters (the live runtime
+// pays them too, so the comparison isolates pool + spawn strategy).
+package baseline
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Pool is the old mutex-serialized context pool.
+type Pool struct {
+	contexts  int
+	throttle  bool
+	window    time.Duration
+	threshold int
+
+	mu     sync.Mutex
+	free   []int   // LIFO stack of free context ids
+	deaths []int64 // monotonic ns timestamps of recent deaths (ascending)
+
+	probes         atomic.Uint64
+	granted        atomic.Uint64
+	noCtxDenies    atomic.Uint64
+	throttleDenies atomic.Uint64
+	deathCount     atomic.Uint64
+	totalWorkers   atomic.Uint64
+
+	live atomic.Int64
+	peak atomic.Int64
+
+	wg sync.WaitGroup
+
+	now func() int64
+}
+
+// New builds a pool with contexts tokens; threshold <= 0 takes the old
+// default of contexts/2 (minimum 1).
+func New(contexts int, throttle bool, window time.Duration, threshold int) *Pool {
+	if threshold <= 0 {
+		threshold = contexts / 2
+		if threshold < 1 {
+			threshold = 1
+		}
+	}
+	p := &Pool{
+		contexts:  contexts,
+		throttle:  throttle,
+		window:    window,
+		threshold: threshold,
+		free:      make([]int, contexts),
+		now:       func() int64 { return time.Now().UnixNano() },
+	}
+	for i := range p.free {
+		p.free[i] = contexts - 1 - i
+	}
+	return p
+}
+
+// Probe is the old mutex-guarded nthr: throttle check (with prune) and
+// LIFO pop under one global lock.
+func (p *Pool) Probe() (int, bool) {
+	p.probes.Add(1)
+
+	p.mu.Lock()
+	if p.throttle && p.deathsInWindowLocked() >= p.threshold {
+		p.mu.Unlock()
+		p.throttleDenies.Add(1)
+		return 0, false
+	}
+	n := len(p.free)
+	if n == 0 {
+		p.mu.Unlock()
+		p.noCtxDenies.Add(1)
+		return 0, false
+	}
+	id := p.free[n-1]
+	p.free = p.free[:n-1]
+	p.mu.Unlock()
+
+	p.granted.Add(1)
+	return id, true
+}
+
+func (p *Pool) deathsInWindowLocked() int {
+	cut := p.now() - p.window.Nanoseconds()
+	i := 0
+	for i < len(p.deaths) && p.deaths[i] < cut {
+		i++
+	}
+	if i > 0 {
+		p.deaths = p.deaths[:copy(p.deaths, p.deaths[i:])]
+	}
+	return len(p.deaths)
+}
+
+// Release returns an unused token under the lock.
+func (p *Pool) Release(id int) {
+	p.mu.Lock()
+	p.free = append(p.free, id)
+	p.mu.Unlock()
+}
+
+// Spawn runs fn on a fresh goroutine — the old per-division spawn with
+// its closure allocation and WaitGroup traffic.
+func (p *Pool) Spawn(id int, fn func()) {
+	p.totalWorkers.Add(1)
+	live := p.live.Add(1)
+	for {
+		pk := p.peak.Load()
+		if live <= pk || p.peak.CompareAndSwap(pk, live) {
+			break
+		}
+	}
+	p.wg.Add(1)
+	go func() {
+		defer p.release(id)
+		fn()
+	}()
+}
+
+func (p *Pool) release(id int) {
+	p.live.Add(-1)
+	p.deathCount.Add(1)
+	p.mu.Lock()
+	p.free = append(p.free, id)
+	if p.throttle {
+		p.deaths = append(p.deaths, p.now())
+		if len(p.deaths) > p.threshold+p.contexts {
+			p.deathsInWindowLocked()
+		}
+	}
+	p.mu.Unlock()
+	p.wg.Done()
+}
+
+// TryDivide is the old fused probe+spawn.
+func (p *Pool) TryDivide(fn func()) bool {
+	id, ok := p.Probe()
+	if !ok {
+		return false
+	}
+	p.Spawn(id, fn)
+	return true
+}
+
+// Join waits for every spawned worker.
+func (p *Pool) Join() { p.wg.Wait() }
+
+// FreeContexts mirrors the old locked length read.
+func (p *Pool) FreeContexts() int {
+	p.mu.Lock()
+	n := len(p.free)
+	p.mu.Unlock()
+	return n
+}

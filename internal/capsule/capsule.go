@@ -7,17 +7,25 @@
 //
 //   - hardware contexts     → a bounded pool of context tokens (default
 //     GOMAXPROCS), so a probe succeeds only when a "hardware context" is
-//     free — exactly the paper's resource-aware division condition;
-//   - nthr (probe+divide)   → Probe/Spawn, or the fused Divide/TryDivide;
+//     free — exactly the paper's resource-aware division condition. Each
+//     token owns a persistent parked goroutine; a granted division is a
+//     mailbox send to it, not a fresh goroutine spawn;
+//   - nthr (probe+divide)   → Probe/Spawn, or the fused Divide/TryDivide.
+//     The paper's point that the SOMT answers nthr "in a few cycles" is
+//     preserved in software: the whole probe path is a handful of atomic
+//     loads and one CAS on a Treiber stack of context ids — no mutex, no
+//     allocation — so offering parallelism at every division point stays
+//     cheap even under heavy contention;
 //   - kthr (worker death)   → token release when the worker function
 //     returns, recorded in the death-rate window;
 //   - division throttling   → a rolling window of recent worker deaths;
 //     when deaths in the window reach half the context count, further
-//     probes are denied (Section 3.1's death-rate throttle);
+//     probes are denied (Section 3.1's death-rate throttle). The window
+//     is a fixed atomic ring of death timestamps, read with one load;
 //   - LIFO context stack    → freed tokens are reused most-recently-dead
 //     first, keeping the working set on warm stacks/caches;
 //   - fast lock table       → a striped lock table keyed by arbitrary
-//      64-bit addresses (Lock/Unlock), mirroring mlock/munlock.
+//     64-bit addresses (Lock/Unlock), mirroring mlock/munlock.
 //
 // The protocol is the paper's: a component *offers* parallelism at each
 // division point; the runtime accepts only when resources are free, and on
@@ -161,14 +169,29 @@ func (c *Context) ID() int { return c.id }
 
 // Runtime is one capsule execution domain: a context pool, a death window,
 // a lock table and a join group. A Runtime is safe for concurrent use by
-// any number of workers.
+// any number of workers. Probe, TryDivide refusal and Release are
+// lock-free and allocation-free; a granted Spawn is a mailbox send to the
+// token's persistent worker. A Runtime that should release its parked
+// worker goroutines is shut down with Close; one that lives as long as
+// the process (the common case) need not bother.
 type Runtime struct {
 	cfg Config
 
-	mu     sync.Mutex
-	free   []int   // LIFO stack of free context ids
-	deaths []int64 // monotonic ns timestamps of recent deaths (ascending)
+	pool tokenStack // lock-free LIFO of free context ids
+	ctxs []Context  // preallocated tokens, one per id: Probe allocates nothing
+	ring deathRing  // death timestamps for the throttle
 
+	workers   []chan job // one single-slot mailbox per context id
+	workerWG  sync.WaitGroup
+	closed    atomic.Bool
+	closeOnce sync.Once
+	closedCh  chan struct{}
+
+	// Counter discipline (the Stats no-tear invariant): Probe bumps its
+	// outcome counter (granted / noCtxDenies / throttleDenies) BEFORE
+	// probes, and Stats loads probes before the outcome counters, so every
+	// snapshot satisfies Probes <= Granted + NoCtxDenies + ThrottleDenies,
+	// with equality at quiescence.
 	probes         atomic.Uint64
 	granted        atomic.Uint64
 	noCtxDenies    atomic.Uint64
@@ -219,15 +242,20 @@ func New(cfg Config) *Runtime {
 	}
 	rt := &Runtime{
 		cfg:      cfg,
-		free:     make([]int, cfg.Contexts),
+		workers:  make([]chan job, cfg.Contexts),
+		closedCh: make(chan struct{}),
 		stripes:  make([]sync.Mutex, stripes),
 		lockMask: uint64(stripes - 1),
 		now:      func() int64 { return time.Now().UnixNano() },
 	}
-	// Push ids so context 0 is on top: the first probe takes the "lowest"
-	// context, like the hardware allocator.
-	for i := range rt.free {
-		rt.free[i] = cfg.Contexts - 1 - i
+	rt.pool.init(cfg.Contexts)
+	rt.ring.init(cfg.DeathThreshold)
+	rt.ctxs = make([]Context, cfg.Contexts)
+	rt.workerWG.Add(cfg.Contexts)
+	for i := range rt.ctxs {
+		rt.ctxs[i] = Context{rt: rt, id: i}
+		rt.workers[i] = make(chan job, 1)
+		go rt.workerLoop(i)
 	}
 	return rt
 }
@@ -251,73 +279,77 @@ func (rt *Runtime) Contexts() int { return rt.cfg.Contexts }
 // It is a point-in-time observation, not a reservation — a caller that
 // needs the token must Probe — and it does not count as a probe, so
 // admission-style peeks (is any parallelism even available?) don't
-// distort the division grant rate.
-func (rt *Runtime) FreeContexts() int {
-	rt.mu.Lock()
-	n := len(rt.free)
-	rt.mu.Unlock()
-	return n
-}
+// distort the division grant rate. It is a single atomic load.
+func (rt *Runtime) FreeContexts() int { return rt.pool.free() }
 
-// CanDivide reports whether a probe made now would succeed: a context
-// token is free AND the death-rate throttle is quiescent. Like
-// FreeContexts it is a non-counting peek, so admission checks that use
-// it leave the grant rate to real offers — and unlike FreeContexts it
-// agrees with Probe's full condition, so a caller that degrades on
-// !CanDivide won't pour doomed offers into a throttled runtime.
+// CanDivide reports whether a probe made now would succeed: the runtime
+// is open, a context token is free AND the death-rate throttle is
+// quiescent. Like FreeContexts it is a non-counting peek, so admission
+// checks that use it leave the grant rate to real offers — and unlike
+// FreeContexts it agrees with Probe's full condition, so a caller that
+// degrades on !CanDivide won't pour doomed offers into a throttled
+// runtime. It is a few atomic loads: cheap enough for every request.
 func (rt *Runtime) CanDivide() bool {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	if rt.cfg.Throttle && rt.deathsInWindowLocked() >= rt.cfg.DeathThreshold {
+	if rt.closed.Load() || rt.throttled() {
 		return false
 	}
-	return len(rt.free) > 0
+	return rt.pool.free() > 0
+}
+
+// throttled is Probe's death-rate condition: at least DeathThreshold
+// deaths inside the trailing DeathWindow. One or two atomic loads against
+// the death ring, and a clock read only when enough deaths exist to
+// possibly trip — the software analogue of the SOMT's window monitor
+// answering in a few cycles.
+func (rt *Runtime) throttled() bool {
+	if !rt.cfg.Throttle {
+		return false
+	}
+	return rt.ring.atLeast(rt.cfg.DeathThreshold, rt.now, rt.cfg.DeathWindow.Nanoseconds())
 }
 
 // Probe attempts to reserve a context token: the paper's nthr condition.
 // It succeeds only when the pool has a free token and the death-rate
 // throttle is quiescent. On success the returned Context MUST be consumed
 // by Spawn or Release; on failure the caller takes its sequential path.
+// Probe never takes a mutex and never allocates (the returned Context is
+// the token's preallocated struct).
+//
+// Counter order matters here: the outcome counter is bumped before the
+// probes counter (and Stats reads them in the opposite order), so a
+// concurrent snapshot can never observe a probe whose outcome is missing
+// — Probes <= Granted + NoCtxDenies + ThrottleDenies holds in every
+// snapshot (absent a concurrent ResetStats, which trades that guarantee
+// away; see its doc).
 func (rt *Runtime) Probe() (*Context, bool) {
-	rt.probes.Add(1)
-
-	rt.mu.Lock()
-	if rt.cfg.Throttle && rt.deathsInWindowLocked() >= rt.cfg.DeathThreshold {
-		rt.mu.Unlock()
-		rt.throttleDenies.Add(1)
-		return nil, false
-	}
-	n := len(rt.free)
-	if n == 0 {
-		rt.mu.Unlock()
+	if rt.closed.Load() {
+		// A closed runtime grants nothing; the pool is (being) drained, so
+		// "no context" is the literal refusal reason.
 		rt.noCtxDenies.Add(1)
+		rt.probes.Add(1)
 		return nil, false
 	}
-	id := rt.free[n-1] // LIFO: most recently freed context first
-	rt.free = rt.free[:n-1]
-	rt.mu.Unlock()
-
+	if rt.throttled() {
+		rt.throttleDenies.Add(1)
+		rt.probes.Add(1)
+		return nil, false
+	}
+	id, ok := rt.pool.pop()
+	if !ok {
+		rt.noCtxDenies.Add(1)
+		rt.probes.Add(1)
+		return nil, false
+	}
 	rt.granted.Add(1)
-	return &Context{rt: rt, id: id}, true
+	rt.probes.Add(1)
+	return &rt.ctxs[id], true
 }
 
-// deathsInWindowLocked prunes expired deaths and returns the live count.
-// Caller holds rt.mu.
-func (rt *Runtime) deathsInWindowLocked() int {
-	cut := rt.now() - rt.cfg.DeathWindow.Nanoseconds()
-	i := 0
-	for i < len(rt.deaths) && rt.deaths[i] < cut {
-		i++
-	}
-	if i > 0 {
-		rt.deaths = rt.deaths[:copy(rt.deaths, rt.deaths[i:])]
-	}
-	return len(rt.deaths)
-}
-
-// Spawn consumes a reserved token and starts fn as a worker goroutine on
-// it. The worker's return is the kthr: the token goes back on the LIFO
-// stack and the death is recorded for the throttle.
+// Spawn consumes a reserved token and hands fn to the token's persistent
+// worker. The worker's return is the kthr: the token goes back on the
+// LIFO stack and the death is recorded for the throttle. The hand-off is
+// one non-blocking channel send — no goroutine spawn, no allocation
+// beyond fn's own closure.
 func (rt *Runtime) Spawn(c *Context, fn func()) { rt.spawnOn(c, fn, nil) }
 
 // spawnOn is Spawn with an optional extra join group: when g is non-nil
@@ -328,6 +360,9 @@ func (rt *Runtime) Spawn(c *Context, fn func()) { rt.spawnOn(c, fn, nil) }
 func (rt *Runtime) spawnOn(c *Context, fn func(), g *sync.WaitGroup) {
 	if c == nil || c.rt != rt {
 		panic("capsule: Spawn with foreign or nil context")
+	}
+	if fn == nil {
+		panic("capsule: Spawn with nil fn")
 	}
 	rt.totalWorkers.Add(1)
 	live := rt.live.Add(1)
@@ -341,44 +376,29 @@ func (rt *Runtime) spawnOn(c *Context, fn func(), g *sync.WaitGroup) {
 	if g != nil {
 		g.Add(1)
 	}
-	go func() {
-		defer func() {
-			rt.release(c.id)
-			if g != nil {
-				g.Done()
-			}
-		}()
-		fn()
-	}()
+	rt.workers[c.id] <- job{fn: fn, g: g}
 }
 
 // Release returns an unused token to the pool without running anything
 // (a probe the caller decided not to act on). It does not count as a
-// death.
+// death. Lock-free and allocation-free: one CAS.
 func (rt *Runtime) Release(c *Context) {
 	if c == nil || c.rt != rt {
 		panic("capsule: Release with foreign or nil context")
 	}
-	rt.mu.Lock()
-	rt.free = append(rt.free, c.id)
-	rt.mu.Unlock()
+	rt.pool.push(c.id)
 }
 
 // release is the kthr path: the worker died, its context is free again.
+// The death is recorded before the token is pushed, so a probe that wins
+// the recycled token observes the throttle state its death produced.
 func (rt *Runtime) release(id int) {
 	rt.live.Add(-1)
 	rt.deathCount.Add(1)
-	rt.mu.Lock()
-	rt.free = append(rt.free, id)
 	if rt.cfg.Throttle {
-		rt.deaths = append(rt.deaths, rt.now())
-		// Bound the ring: only counts ≥ threshold matter, so anything
-		// past threshold+pool entries can be dropped after pruning.
-		if len(rt.deaths) > rt.cfg.DeathThreshold+rt.cfg.Contexts {
-			rt.deathsInWindowLocked()
-		}
+		rt.ring.record(rt.now())
 	}
-	rt.mu.Unlock()
+	rt.pool.push(id)
 	rt.wg.Done()
 }
 
@@ -440,10 +460,15 @@ func mix(x uint64) uint64 {
 	return x
 }
 
-// Stats snapshots the counters.
+// Stats snapshots the counters. Snapshots are tear-free in the accounting
+// direction: probes is loaded before the outcome counters (and Probe
+// bumps them in the opposite order), so Probes <= Granted + NoCtxDenies +
+// ThrottleDenies in every snapshot, with equality once probers quiesce
+// (ResetStats racing live probers is the one documented exception).
 func (rt *Runtime) Stats() Stats {
+	probes := rt.probes.Load() // first: see the invariant note above
 	return Stats{
-		Probes:         rt.probes.Load(),
+		Probes:         probes,
 		Granted:        rt.granted.Load(),
 		NoCtxDenies:    rt.noCtxDenies.Load(),
 		ThrottleDenies: rt.throttleDenies.Load(),
@@ -456,7 +481,12 @@ func (rt *Runtime) Stats() Stats {
 }
 
 // ResetStats zeroes the counters (the context pool and death window are
-// left alone: resource state is not statistics).
+// left alone: resource state is not statistics). The accounting
+// invariant (Probes <= outcomes) is guaranteed since New or since a
+// ResetStats made at quiescence; a reset racing a mid-flight Probe can
+// strand that one probe's counters on opposite sides of the wipe and
+// leave the totals off by one either way. Concurrent observers should
+// use Stats().Delta snapshots instead of resetting (see Stats.Delta).
 func (rt *Runtime) ResetStats() {
 	rt.probes.Store(0)
 	rt.granted.Store(0)

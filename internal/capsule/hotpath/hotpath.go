@@ -1,0 +1,259 @@
+// Package hotpath is the probe/divide contention benchmark suite, run
+// against two pool implementations side by side:
+//
+//   - atomic: the live lock-free runtime (internal/capsule) — Treiber
+//     token stack, atomic death ring, parked persistent workers;
+//   - mutex: the retained pre-rewrite pool (internal/capsule/baseline) —
+//     global mutex LIFO, slice-pruned death window, goroutine-per-spawn.
+//
+// The cases cover the grant and refusal paths at 1, GOMAXPROCS and
+// 4×GOMAXPROCS probers, plus the fused divide with worker hand-off. The
+// same bodies back both `go test -bench` (hotpath_test.go wrappers, run
+// under -race in CI) and cmd/capstress, which runs them via
+// testing.Benchmark and records ns/op and allocs/op in
+// BENCH_capsule.json — so the speedup the rewrite bought is re-measured,
+// not remembered.
+package hotpath
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/capsule"
+	"repro/internal/capsule/baseline"
+)
+
+// A Case is one named hot-path benchmark, runnable by go test or
+// testing.Benchmark.
+type Case struct {
+	Name  string
+	Bench func(b *testing.B)
+}
+
+// Cases returns the full suite. Names are impl/path[_probers]: the
+// "atomic/" and "mutex/" halves are exact mirrors, so any pair divides
+// into a speedup.
+func Cases() []Case {
+	return []Case{
+		{"atomic/probe_granted_serial", atomicProbeGranted(0)},
+		{"atomic/probe_granted_parallel_1x", atomicProbeGranted(1)},
+		{"atomic/probe_granted_parallel_4x", atomicProbeGranted(4)},
+		{"atomic/probe_refused_serial", atomicProbeRefused(0)},
+		{"atomic/probe_refused_parallel_4x", atomicProbeRefused(4)},
+		{"atomic/try_divide_refused", atomicTryDivideRefused},
+		{"atomic/divide_granted", atomicDivideGranted},
+		{"mutex/probe_granted_serial", mutexProbeGranted(0)},
+		{"mutex/probe_granted_parallel_1x", mutexProbeGranted(1)},
+		{"mutex/probe_granted_parallel_4x", mutexProbeGranted(4)},
+		{"mutex/probe_refused_serial", mutexProbeRefused(0)},
+		{"mutex/probe_refused_parallel_4x", mutexProbeRefused(4)},
+		{"mutex/try_divide_refused", mutexTryDivideRefused},
+		{"mutex/divide_granted", mutexDivideGranted},
+	}
+}
+
+// Find returns the named case for a go test wrapper.
+func Find(name string) (Case, bool) {
+	for _, c := range Cases() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Case{}, false
+}
+
+// nop is the spawned work: a static func value, so the divide benchmarks
+// measure the runtime's own cost, not a per-iteration closure allocation.
+func nop() {}
+
+// benchWindow keeps both implementations' throttle configured alike. The
+// probe benchmarks never record deaths (Probe/Release is not a kthr), so
+// the throttle check is measured on its always-quiescent fast path.
+const benchWindow = 100 * time.Microsecond
+
+// probers turns a parallelism multiplier into the number of concurrent
+// probers RunParallel will use (0 means a plain serial loop).
+func probers(par int) int {
+	if par == 0 {
+		return 1
+	}
+	return par * runtime.GOMAXPROCS(0)
+}
+
+// divideContexts sizes the divide_granted pool: deep enough that the
+// offering loop keeps granting while parked workers (or spawned
+// goroutines, for the baseline) drain and refill it.
+func divideContexts() int {
+	n := 16 * runtime.GOMAXPROCS(0)
+	if n < 64 {
+		n = 64
+	}
+	return n
+}
+
+// ---- atomic: the live lock-free runtime ----
+
+func atomicProbeGranted(par int) func(b *testing.B) {
+	return func(b *testing.B) {
+		rt := capsule.New(capsule.Config{Contexts: probers(par), Throttle: true, DeathWindow: benchWindow})
+		defer rt.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		if par == 0 {
+			for i := 0; i < b.N; i++ {
+				if c, ok := rt.Probe(); ok {
+					rt.Release(c)
+				}
+			}
+			return
+		}
+		b.SetParallelism(par)
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if c, ok := rt.Probe(); ok {
+					rt.Release(c)
+				}
+			}
+		})
+	}
+}
+
+func atomicProbeRefused(par int) func(b *testing.B) {
+	return func(b *testing.B) {
+		rt := capsule.New(capsule.Config{Contexts: 1, Throttle: true, DeathWindow: benchWindow})
+		hold, _ := rt.Probe() // empty the pool: every probe refuses
+		b.ReportAllocs()
+		b.ResetTimer()
+		if par == 0 {
+			for i := 0; i < b.N; i++ {
+				if _, ok := rt.Probe(); ok {
+					b.Fatal("probe granted from an empty pool")
+				}
+			}
+		} else {
+			b.SetParallelism(par)
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, ok := rt.Probe(); ok {
+						b.Fatal("probe granted from an empty pool")
+					}
+				}
+			})
+		}
+		b.StopTimer()
+		rt.Release(hold)
+		rt.Close()
+	}
+}
+
+func atomicTryDivideRefused(b *testing.B) {
+	rt := capsule.New(capsule.Config{Contexts: 1, Throttle: false})
+	hold, _ := rt.Probe()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rt.TryDivide(nop) {
+			b.Fatal("divide granted from an empty pool")
+		}
+	}
+	b.StopTimer()
+	rt.Release(hold)
+	rt.Close()
+}
+
+func atomicDivideGranted(b *testing.B) {
+	// Throttle off: nop workers die far faster than any real window, and
+	// the point here is the grant + hand-off cost, not throttle stalls.
+	rt := capsule.New(capsule.Config{Contexts: divideContexts(), Throttle: false})
+	defer rt.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for !rt.TryDivide(nop) {
+			runtime.Gosched() // let parked workers drain and refill the pool
+		}
+	}
+	b.StopTimer()
+	rt.Join()
+}
+
+// ---- mutex: the retained pre-rewrite baseline ----
+
+func mutexProbeGranted(par int) func(b *testing.B) {
+	return func(b *testing.B) {
+		p := baseline.New(probers(par), true, benchWindow, 0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		if par == 0 {
+			for i := 0; i < b.N; i++ {
+				if id, ok := p.Probe(); ok {
+					p.Release(id)
+				}
+			}
+			return
+		}
+		b.SetParallelism(par)
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if id, ok := p.Probe(); ok {
+					p.Release(id)
+				}
+			}
+		})
+	}
+}
+
+func mutexProbeRefused(par int) func(b *testing.B) {
+	return func(b *testing.B) {
+		p := baseline.New(1, true, benchWindow, 0)
+		hold, _ := p.Probe()
+		b.ReportAllocs()
+		b.ResetTimer()
+		if par == 0 {
+			for i := 0; i < b.N; i++ {
+				if _, ok := p.Probe(); ok {
+					b.Fatal("probe granted from an empty pool")
+				}
+			}
+		} else {
+			b.SetParallelism(par)
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, ok := p.Probe(); ok {
+						b.Fatal("probe granted from an empty pool")
+					}
+				}
+			})
+		}
+		b.StopTimer()
+		p.Release(hold)
+	}
+}
+
+func mutexTryDivideRefused(b *testing.B) {
+	p := baseline.New(1, false, benchWindow, 0)
+	hold, _ := p.Probe()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if p.TryDivide(nop) {
+			b.Fatal("divide granted from an empty pool")
+		}
+	}
+	b.StopTimer()
+	p.Release(hold)
+}
+
+func mutexDivideGranted(b *testing.B) {
+	p := baseline.New(divideContexts(), false, benchWindow, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for !p.TryDivide(nop) {
+			runtime.Gosched()
+		}
+	}
+	b.StopTimer()
+	p.Join()
+}

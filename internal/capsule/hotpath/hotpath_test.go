@@ -1,0 +1,89 @@
+package hotpath
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/capsule/baseline"
+)
+
+func newBaselineForTest() *baseline.Pool {
+	return baseline.New(2, false, 100*time.Microsecond, 0)
+}
+
+// bench runs the named case, so the Benchmark* identifiers CI greps for
+// stay stable even if Cases() grows.
+func bench(b *testing.B, name string) {
+	c, ok := Find(name)
+	if !ok {
+		b.Fatalf("unknown hotpath case %q", name)
+	}
+	c.Bench(b)
+}
+
+// The atomic (live runtime) side. BenchmarkProbeGrantedParallel4x is the
+// acceptance benchmark: ≥2× faster than BenchmarkMutexProbeGrantedParallel4x.
+func BenchmarkProbeGrantedSerial(b *testing.B)     { bench(b, "atomic/probe_granted_serial") }
+func BenchmarkProbeGrantedParallel(b *testing.B)   { bench(b, "atomic/probe_granted_parallel_1x") }
+func BenchmarkProbeGrantedParallel4x(b *testing.B) { bench(b, "atomic/probe_granted_parallel_4x") }
+func BenchmarkProbeRefusedSerial(b *testing.B)     { bench(b, "atomic/probe_refused_serial") }
+func BenchmarkProbeRefusedParallel4x(b *testing.B) { bench(b, "atomic/probe_refused_parallel_4x") }
+func BenchmarkTryDivideRefused(b *testing.B)       { bench(b, "atomic/try_divide_refused") }
+func BenchmarkDivideGranted(b *testing.B)          { bench(b, "atomic/divide_granted") }
+
+// The mutex baseline side (internal/capsule/baseline).
+func BenchmarkMutexProbeGrantedSerial(b *testing.B) { bench(b, "mutex/probe_granted_serial") }
+func BenchmarkMutexProbeGrantedParallel(b *testing.B) {
+	bench(b, "mutex/probe_granted_parallel_1x")
+}
+func BenchmarkMutexProbeGrantedParallel4x(b *testing.B) {
+	bench(b, "mutex/probe_granted_parallel_4x")
+}
+func BenchmarkMutexProbeRefusedSerial(b *testing.B) { bench(b, "mutex/probe_refused_serial") }
+func BenchmarkMutexProbeRefusedParallel4x(b *testing.B) {
+	bench(b, "mutex/probe_refused_parallel_4x")
+}
+func BenchmarkMutexTryDivideRefused(b *testing.B) { bench(b, "mutex/try_divide_refused") }
+func BenchmarkMutexDivideGranted(b *testing.B)    { bench(b, "mutex/divide_granted") }
+
+// TestBaselineBehaves pins the foil to the old semantics, so the numbers
+// it produces keep meaning something: bounded pool, LIFO reuse, work runs
+// exactly once, Join covers spawns.
+func TestBaselineBehaves(t *testing.T) {
+	p := newBaselineForTest()
+	a, ok := p.Probe()
+	if !ok || a != 0 {
+		t.Fatalf("first probe = (%d, %v), want (0, true)", a, ok)
+	}
+	bid, ok := p.Probe()
+	if !ok || bid != 1 {
+		t.Fatalf("second probe = (%d, %v), want (1, true)", bid, ok)
+	}
+	if _, ok := p.Probe(); ok {
+		t.Fatal("probe granted beyond the pool")
+	}
+	p.Release(bid)
+	p.Release(a)
+	if id, _ := p.Probe(); id != a {
+		t.Fatalf("LIFO reuse broken: got %d, want %d", id, a)
+	}
+	p.Release(a)
+
+	var mu sync.Mutex
+	ran := 0
+	for i := 0; i < 50; i++ {
+		if !p.TryDivide(func() { mu.Lock(); ran++; mu.Unlock() }) {
+			mu.Lock()
+			ran++
+			mu.Unlock()
+		}
+	}
+	p.Join()
+	if ran != 50 {
+		t.Fatalf("work ran %d times, want 50", ran)
+	}
+	if p.FreeContexts() != 2 {
+		t.Fatalf("pool holds %d tokens after join, want 2", p.FreeContexts())
+	}
+}

@@ -1,0 +1,97 @@
+package capsule
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Persistent per-context workers. Each of the Contexts tokens owns one
+// long-lived goroutine parked on a single-slot mailbox; a granted division
+// is a channel send to the token's worker instead of a fresh `go func()`.
+// This is the software analogue of the paper's hardware contexts being
+// *resident*: dividing hands work to an existing context, it does not
+// construct one.
+//
+// The single-slot buffer makes Spawn's send non-blocking by construction:
+// a token is only grantable while it sits in the free stack, the worker
+// pushes it back only after finishing its previous job, and the stack
+// hands each token to at most one holder — so when Spawn sends, the
+// mailbox is empty.
+
+// job is one unit handed to a parked worker. A nil fn is the quit
+// sentinel Close uses to retire the worker.
+type job struct {
+	fn func()
+	g  *sync.WaitGroup
+}
+
+// workerLoop is the body of one persistent worker: receive, run, repeat,
+// until the quit sentinel arrives.
+func (rt *Runtime) workerLoop(id int) {
+	defer rt.workerWG.Done()
+	for {
+		j := <-rt.workers[id]
+		if j.fn == nil {
+			return
+		}
+		rt.runJob(id, j)
+	}
+}
+
+// runJob executes one job with the kthr bookkeeping deferred, so a
+// panicking fn still releases its token and fires its joins before the
+// panic tears the process down (the same observable order the
+// goroutine-per-spawn runtime had).
+func (rt *Runtime) runJob(id int, j job) {
+	defer func() {
+		rt.release(id)
+		if j.g != nil {
+			j.g.Done()
+		}
+	}()
+	j.fn()
+}
+
+// Close shuts the runtime down: it stops granting divisions, waits for
+// in-flight workers to die and for outstanding tokens (Probe'd but not
+// yet consumed) to come home, then retires the persistent workers. Close
+// is idempotent and safe to race with Probe/Divide — offers that lose the
+// race are refused and run inline, exactly like any other denied probe. A
+// caller that holds a token across Close without ever Spawn-ing or
+// Release-ing it will block Close forever; that is the same misuse as
+// leaking a token, just louder.
+//
+// After Close: Probe always refuses, CanDivide is false, FreeContexts is
+// 0, and Join returns immediately.
+func (rt *Runtime) Close() {
+	rt.closeOnce.Do(func() { rt.doClose() })
+	<-rt.closedCh
+}
+
+// doClose runs once. Collecting every token out of the free stack is both
+// the drain barrier and the permanent off switch: a token Close holds can
+// never be granted again, and a token still out with a worker or holder
+// lands back in the stack on release, where the collection loop picks it
+// up.
+func (rt *Runtime) doClose() {
+	rt.closed.Store(true)
+	for held, spins := 0, 0; held < rt.cfg.Contexts; {
+		if _, ok := rt.pool.pop(); ok {
+			held++
+			continue
+		}
+		spins++
+		if spins%256 == 0 {
+			time.Sleep(50 * time.Microsecond)
+		} else {
+			runtime.Gosched()
+		}
+	}
+	rt.wg.Wait() // releases precede wg.Done; let the last Done land
+	for i := range rt.workers {
+		rt.workers[i] <- job{} // quit sentinel; mailboxes are empty and single-slot
+	}
+	rt.workerWG.Wait()
+	close(rt.closedCh)
+}

@@ -19,10 +19,12 @@
 //     internal/workloads — and every table/figure regenerator —
 //     internal/exp;
 //   - the native capsule runtime — internal/capsule — which ports the
-//     probe/divide protocol to real goroutines (a bounded context-token
-//     pool, death-rate throttling, LIFO context reuse and a striped lock
-//     table), so the same component algorithms also run at hardware speed
-//     outside the simulator (see cmd/caprun).
+//     probe/divide protocol to real goroutines (a lock-free bounded
+//     context-token pool with LIFO reuse, persistent parked per-context
+//     workers, an atomic death-ring throttle and a striped lock table),
+//     so the same component algorithms also run at hardware speed
+//     outside the simulator (see cmd/caprun; cmd/capstress tracks the
+//     hot-path cost in BENCH_capsule.json).
 //
 // This package re-exports the surface a downstream user needs: compile a
 // CapC program, pick one of the paper's machines, run it, and inspect
@@ -111,10 +113,12 @@ func Experiments() []string { return exp.IDs() }
 //
 // A Runtime is one capsule execution domain; Probe/Divide follow the
 // paper's protocol (divide only when a context token is free and the
-// death-rate throttle is quiescent, run inline otherwise). A Domain is
-// the division-capable scope component code is written against: the
-// Runtime itself, a per-task Group (shared pool, private join), or the
-// Sequential fallback.
+// death-rate throttle is quiescent, run inline otherwise), on a
+// lock-free, allocation-free hot path. A Domain is the division-capable
+// scope component code is written against: the Runtime itself, a
+// per-task Group (shared pool, private join), or the Sequential
+// fallback. A Runtime that should release its parked worker goroutines
+// before process exit is shut down with Close.
 type (
 	Runtime       = capsule.Runtime
 	RuntimeConfig = capsule.Config
