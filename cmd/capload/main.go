@@ -13,11 +13,22 @@
 //     regardless of completions — the model that actually overloads a
 //     server and exercises 503 shedding.
 //
+// Traffic is round-robin across -workloads, or weighted with -mix
+// (e.g. -mix quicksort=4,dijkstra=2,lzw=1) so cluster benchmarks can
+// exercise heterogeneous load instead of one endpoint.
+//
+// Pointed at a caprouter instead of a capserve, capload is router-aware:
+// it diffs the caprouter_* series across the run and reports the remote
+// grant count, local fallback rate and per-backend dispatch spread, with
+// optional gates (-max-fallback-rate, -min-backends-hit) for CI.
+//
 // Usage:
 //
 //	capload -url http://localhost:8080 -d 10s -c 16
 //	capload -url http://localhost:8080 -d 10s -rate 500 -workloads quicksort,lzw
+//	capload -url http://localhost:8090 -d 10s -mix quicksort=4,dijkstra=2,lzw=1
 //	capload -d 5s -c 8 -min-throughput 200   # CI smoke: exit 2 below 200 req/s
+//	capload -url http://localhost:8090 -d 5s -max-fallback-rate 0.5 -min-backends-hit 3
 package main
 
 import (
@@ -34,21 +45,24 @@ import (
 	"time"
 
 	"repro/internal/profiling"
+	"repro/internal/promtext"
 )
 
 type options struct {
-	url     string
-	wls     []string
-	n       int
-	seed    int64
-	seeds   int64
-	c       int
-	rate    float64
-	d       time.Duration
-	timeout time.Duration
-	verify  bool
-	minTput float64
-	jsonOut bool
+	url         string
+	wls         []string
+	n           int
+	seed        int64
+	seeds       int64
+	c           int
+	rate        float64
+	d           time.Duration
+	timeout     time.Duration
+	verify      bool
+	minTput     float64
+	maxFallback float64
+	minBackends int
+	jsonOut     bool
 }
 
 // result is one request's outcome.
@@ -68,9 +82,10 @@ type runResponse struct {
 
 func main() {
 	var o options
-	var wlList string
-	flag.StringVar(&o.url, "url", "http://localhost:8080", "capserve base URL")
+	var wlList, mix string
+	flag.StringVar(&o.url, "url", "http://localhost:8080", "capserve or caprouter base URL")
 	flag.StringVar(&wlList, "workloads", "quicksort,dijkstra,lzw,perceptron", "comma-separated workloads, round-robin")
+	flag.StringVar(&mix, "mix", "", "weighted workload mix, e.g. quicksort=4,dijkstra=2,lzw=1 (overrides -workloads)")
 	flag.IntVar(&o.n, "n", 2000, "input size per request")
 	flag.Int64Var(&o.seed, "seed", 1, "base input seed")
 	flag.Int64Var(&o.seeds, "seeds", 64, "seed cycle length (request i uses seed + i mod seeds)")
@@ -80,6 +95,8 @@ func main() {
 	flag.DurationVar(&o.timeout, "timeout", 10*time.Second, "per-request timeout")
 	flag.BoolVar(&o.verify, "verify", true, "assert same (workload,n,seed) always returns the same checksum")
 	flag.Float64Var(&o.minTput, "min-throughput", 0, "exit 2 if 2xx throughput falls below this (req/s)")
+	flag.Float64Var(&o.maxFallback, "max-fallback-rate", -1, "router-aware: exit 2 if the run's local-fallback rate exceeds this (negative = no gate)")
+	flag.IntVar(&o.minBackends, "min-backends-hit", 0, "router-aware: exit 2 if fewer backends received a dispatch during the run")
 	flag.BoolVar(&o.jsonOut, "json", false, "emit a machine-readable JSON report")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the load generator to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -104,16 +121,24 @@ func main() {
 		}
 	}
 
-	o.wls = strings.Split(wlList, ",")
-	for i := range o.wls {
-		o.wls[i] = strings.TrimSpace(o.wls[i])
+	if mix != "" {
+		wls, err := parseMix(mix)
+		if err != nil {
+			fail("%v", err)
+		}
+		o.wls = wls
+	} else {
+		o.wls = strings.Split(wlList, ",")
+		for i := range o.wls {
+			o.wls[i] = strings.TrimSpace(o.wls[i])
+		}
 	}
 	if o.n <= 0 || o.c <= 0 || o.d <= 0 || o.seeds <= 0 || o.rate < 0 {
 		fail("invalid flags: n, c, d and seeds must be positive, rate non-negative")
 	}
 
 	client := &http.Client{Timeout: o.timeout}
-	before, berr := scrapeDivisions(client, o.url)
+	before, berr := scrapeMetrics(client, o.url)
 
 	var (
 		mu       sync.Mutex
@@ -173,7 +198,7 @@ func main() {
 		window = o.d
 	}
 
-	after, aerr := scrapeDivisions(client, o.url)
+	after, aerr := scrapeMetrics(client, o.url)
 
 	// Aggregate.
 	var ok2xx, errs int
@@ -205,13 +230,55 @@ func main() {
 	// Counters going backwards mean the server restarted (or a balancer
 	// swapped instances) between scrapes: the pair is unusable, omit the
 	// server_* keys rather than report underflowed garbage.
-	if berr == nil && aerr == nil && after.probes >= before.probes && after.granted >= before.granted {
-		dp, dg := after.probes-before.probes, after.granted-before.granted
-		report["server_probes"] = dp
-		report["server_granted"] = dg
-		if dp > 0 {
-			report["server_grant_rate"] = float64(dg) / float64(dp)
+	scrapesOK := berr == nil && aerr == nil
+	if dp, ok := delta(before, after, "capsule_probes_total"); scrapesOK && ok {
+		if dg, ok := delta(before, after, "capsule_granted_total"); ok {
+			report["server_probes"] = uint64(dp)
+			report["server_granted"] = uint64(dg)
+			if dp > 0 {
+				report["server_grant_rate"] = dg / dp
+			}
 		}
+	}
+	// Router awareness: a caprouter target exposes caprouter_* series;
+	// diff them into the cluster-scope report (remote grants, fallback
+	// rate, per-backend spread) the -max-fallback-rate and
+	// -min-backends-hit gates judge.
+	var fallbackRate = -1.0
+	backendsHit := -1
+	sawRouter := false
+	if _, isRouter := after["caprouter_requests_total"]; scrapesOK && isRouter {
+		sawRouter = true
+		dreq, rok := delta(before, after, "caprouter_requests_total")
+		dgrant, gok := delta(before, after, "caprouter_remote_granted_total")
+		dfall, fok := delta(before, after, "caprouter_local_fallbacks_total")
+		if rok && gok && fok {
+			report["router_requests"] = uint64(dreq)
+			report["router_remote_grants"] = uint64(dgrant)
+			report["router_local_fallbacks"] = uint64(dfall)
+			if dreq > 0 {
+				fallbackRate = dfall / dreq
+				report["router_fallback_rate"] = fallbackRate
+			}
+		}
+		spread := map[string]uint64{}
+		backendsHit = 0
+		for key, v := range after {
+			name, ok := promtext.LabelValue(key, "caprouter_backend_dispatches_total", "backend")
+			if !ok {
+				continue
+			}
+			d := v - before[key]
+			if d < 0 {
+				d = v // the router restarted mid-run; report its absolute count
+			}
+			spread[name] = uint64(d)
+			if d > 0 {
+				backendsHit++
+			}
+		}
+		report["router_backend_dispatches"] = spread
+		report["router_backends_hit"] = backendsHit
 	}
 
 	if o.jsonOut {
@@ -229,6 +296,17 @@ func main() {
 				line += fmt.Sprintf(" grant-rate=%.3f%%", gr.(float64)*100)
 			}
 			fmt.Println(line + " (from /metrics)")
+		}
+		if dr, ok := report["router_requests"]; ok {
+			line := fmt.Sprintf("router: Δrequests=%v Δremote-grants=%v Δfallbacks=%v",
+				dr, report["router_remote_grants"], report["router_local_fallbacks"])
+			if fallbackRate >= 0 {
+				line += fmt.Sprintf(" fallback-rate=%.3f%%", fallbackRate*100)
+			}
+			if backendsHit >= 0 {
+				line += fmt.Sprintf(" backends-hit=%d", backendsHit)
+			}
+			fmt.Println(line)
 		}
 		if mismatch > 0 {
 			fmt.Printf("VERIFY FAILED: %d checksum mismatches\n", mismatch)
@@ -248,6 +326,58 @@ func main() {
 		fmt.Fprintf(os.Stderr, "capload: throughput %.1f req/s below required %.1f\n", tput, o.minTput)
 		os.Exit(2)
 	}
+	if o.maxFallback >= 0 {
+		switch {
+		case !sawRouter:
+			flushProfiles()
+			fail("-max-fallback-rate set but %s exposes no caprouter_* series (not a caprouter?)", o.url)
+		case fallbackRate < 0:
+			// The series exist but the before/after pair is unusable: the
+			// router restarted mid-run, or no requests were measured.
+			flushProfiles()
+			fmt.Fprintf(os.Stderr, "capload: fallback rate unmeasurable (router restarted mid-run, or zero routed requests)\n")
+			os.Exit(2)
+		case fallbackRate > o.maxFallback:
+			flushProfiles()
+			fmt.Fprintf(os.Stderr, "capload: fallback rate %.3f above allowed %.3f\n", fallbackRate, o.maxFallback)
+			os.Exit(2)
+		}
+	}
+	if o.minBackends > 0 {
+		if !sawRouter {
+			flushProfiles()
+			fail("-min-backends-hit set but %s exposes no caprouter_* series (not a caprouter?)", o.url)
+		}
+		if backendsHit < o.minBackends {
+			flushProfiles()
+			fmt.Fprintf(os.Stderr, "capload: only %d backends dispatched to, want >= %d\n", backendsHit, o.minBackends)
+			os.Exit(2)
+		}
+	}
+}
+
+// parseMix expands "quicksort=4,dijkstra=2,lzw=1" into a weighted
+// round-robin slot list: the request stream cycles through it, so the
+// realized traffic matches the ratios exactly, not just in expectation.
+func parseMix(s string) ([]string, error) {
+	var wls []string
+	for _, kv := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -mix entry %q (want workload=weight)", kv)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("bad -mix weight in %q (want a positive integer)", kv)
+		}
+		for i := 0; i < w; i++ {
+			wls = append(wls, name)
+		}
+	}
+	if len(wls) == 0 {
+		return nil, fmt.Errorf("-mix names no workloads")
+	}
+	return wls, nil
 }
 
 // closedLoop runs o.c workers, each firing back-to-back until deadline.
@@ -304,30 +434,37 @@ func openLoop(o options, deadline time.Time, fire func(int64)) {
 	wg.Wait()
 }
 
-// divisions are the two /metrics series capload diffs across the run.
-type divisions struct{ probes, granted uint64 }
-
-func scrapeDivisions(client *http.Client, base string) (divisions, error) {
-	var d divisions
+// scrapeMetrics pulls the target's full /metrics exposition into a
+// series → value map (labelled series keep their label string in the
+// key), so capserve division counters and caprouter cluster counters
+// come from the same two scrapes.
+func scrapeMetrics(client *http.Client, base string) (map[string]float64, error) {
 	resp, err := client.Get(base + "/metrics")
 	if err != nil {
-		return d, err
+		return nil, err
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return d, err
+		return nil, err
 	}
-	for _, line := range strings.Split(string(body), "\n") {
-		if v, ok := strings.CutPrefix(line, "capsule_probes_total "); ok {
-			d.probes, _ = strconv.ParseUint(strings.TrimSpace(v), 10, 64)
-		}
-		if v, ok := strings.CutPrefix(line, "capsule_granted_total "); ok {
-			d.granted, _ = strconv.ParseUint(strings.TrimSpace(v), 10, 64)
-		}
-	}
-	return d, nil
+	return promtext.Parse(body), nil
 }
+
+// delta returns after[key]-before[key] when the pair is usable (present
+// after, and not gone backwards — which would mean a restart).
+func delta(before, after map[string]float64, key string) (float64, bool) {
+	a, ok := after[key]
+	if !ok {
+		return 0, false
+	}
+	d := a - before[key]
+	if d < 0 {
+		return 0, false
+	}
+	return d, true
+}
+
 
 // pct returns the q-quantile of sorted latencies (q=1 → max).
 func pct(sorted []time.Duration, q float64) time.Duration {

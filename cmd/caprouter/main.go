@@ -1,0 +1,177 @@
+// Command caprouter is the cluster front end: it runs the probe/divide
+// protocol over a fleet of capserve backends, treating each backend's
+// free capacity as remote contexts (internal/capcluster). A request's
+// remote probe is a local credit check — no network on the deny path —
+// and refusals degrade to the router's own capsule runtime, then to
+// sequential, exactly the paper's ladder one tier up.
+//
+// The fleet is either fronted (-backends lists running capserve URLs) or
+// spawned (-spawn boots N in-process backends on loopback ports — one
+// process, real TCP, handy for smoke tests and demos). Both can be
+// combined.
+//
+// Usage:
+//
+//	caprouter -addr :8090 -backends http://10.0.0.1:8080,http://10.0.0.2:8080
+//	caprouter -addr :8090 -spawn 3 -spawn-contexts 2 -policy rendezvous
+//	caprouter -addr :8090 -spawn 2 -credits 8 -fail-threshold 3 -fail-window 2s
+//
+// Shutdown is graceful: SIGINT/SIGTERM flips /healthz to 503 first, then
+// stops the listener, finishes in-flight requests (up to -drain), drains
+// the spawned backends the same way, closes the local runtime, and
+// prints the final cluster statistics.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/capcluster"
+	"repro/internal/capserve"
+	"repro/internal/capsule"
+)
+
+func main() {
+	addr := flag.String("addr", ":8090", "listen address")
+	backends := flag.String("backends", "", "comma-separated capserve base URLs to front")
+	spawn := flag.Int("spawn", 0, "spawn this many in-process capserve backends on loopback ports")
+	spawnContexts := flag.Int("spawn-contexts", 2, "context pool size per spawned backend")
+	spawnQueue := flag.Int("spawn-queue", 0, "accept-queue depth per spawned backend (0 = 4x contexts)")
+	policy := flag.String("policy", "least-loaded", "placement policy: least-loaded, round-robin, rendezvous")
+	contexts := flag.Int("contexts", 0, "local fallback runtime context pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "local fallback accept-queue depth (0 = 4x contexts)")
+	credits := flag.Int("credits", 0, "initial per-backend credits (0 = default)")
+	maxCredits := flag.Int("max-credits", 0, "ceiling on learned credits (0 = default)")
+	failThreshold := flag.Int("fail-threshold", 0, "backend failures tripping the breaker (0 = default)")
+	failWindow := flag.Duration("fail-window", 0, "breaker window (0 = default)")
+	timeout := flag.Duration("timeout", 0, "per-dispatch timeout (0 = default)")
+	refresh := flag.Duration("refresh", time.Second, "credit refresh interval (scrapes backend /metrics; 0 disables)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
+	flag.Parse()
+
+	var urls []string
+	if *backends != "" {
+		for _, u := range strings.Split(*backends, ",") {
+			urls = append(urls, strings.TrimSpace(u))
+		}
+	}
+	var spawned []*capserve.Backend
+	for i := 0; i < *spawn; i++ {
+		brt, err := capsule.NewValidated(capsule.Config{
+			Contexts: *spawnContexts,
+			Throttle: true,
+		})
+		if err != nil {
+			fail("spawn backend %d: %v", i, err)
+		}
+		b, err := capserve.StartBackend(capserve.Config{
+			Runtime:    brt,
+			QueueDepth: *spawnQueue,
+		})
+		if err != nil {
+			fail("spawn backend %d: %v", i, err)
+		}
+		spawned = append(spawned, b)
+		urls = append(urls, b.URL)
+		fmt.Printf("caprouter: spawned backend %d at %s (contexts=%d)\n", i, b.URL, *spawnContexts)
+	}
+
+	place, err := capcluster.NewPlacement(*policy)
+	if err != nil {
+		fail("%v", err)
+	}
+	localRT, err := capsule.NewValidated(capsule.Config{Contexts: *contexts, Throttle: true})
+	if err != nil {
+		fail("%v", err)
+	}
+	local, err := capserve.New(capserve.Config{Runtime: localRT, QueueDepth: *queue})
+	if err != nil {
+		fail("%v", err)
+	}
+	router, err := capcluster.New(capcluster.Config{
+		Backends:      urls,
+		Local:         local,
+		Placement:     place,
+		Credits:       *credits,
+		MaxCredits:    *maxCredits,
+		FailThreshold: *failThreshold,
+		FailWindow:    *failWindow,
+		Timeout:       *timeout,
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+	router.Refresh() // learn real capacities before the first request
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *refresh > 0 {
+		go func() {
+			t := time.NewTicker(*refresh)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					router.Refresh()
+				}
+			}
+		}()
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: router}
+	fmt.Printf("caprouter: listening on %s (backends=%d policy=%s local-contexts=%d)\n",
+		*addr, len(urls), place.Name(), localRT.Contexts())
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		fail("%v", err)
+	case <-ctx.Done():
+	}
+
+	fmt.Println("caprouter: draining...")
+	router.SetDraining(true)
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	clean := true
+	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "caprouter: shutdown: %v\n", err)
+		clean = false
+	}
+	for i, b := range spawned {
+		if err := b.Close(sctx); err != nil {
+			fmt.Fprintf(os.Stderr, "caprouter: backend %d drain: %v\n", i, err)
+			clean = false
+		}
+	}
+	if clean {
+		// In-flight handlers are done, so closing the local runtime
+		// cannot block on live divisions.
+		localRT.Close()
+	}
+	fmt.Printf("caprouter: final stats: %s\n", router.Stats())
+	for _, b := range router.Backends() {
+		bs := b.Stats()
+		fmt.Printf("caprouter:   %s dispatched=%d served=%d sheds=%d deaths=%d\n",
+			b.Name(), bs.Dispatches, bs.Served, bs.Sheds, bs.Deaths)
+	}
+	if !clean {
+		os.Exit(1)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "caprouter: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -6,14 +6,21 @@
 // the grant rate, and an in-process capserve closed loop for serving
 // throughput.
 //
+// It also runs a cluster scenario: three in-process capserve backends
+// behind a capcluster router, one killed at halftime — the tracked
+// numbers are the remote grant rate, the local fallback rate, and the
+// zero-failed-requests property under a backend death.
+//
 // Usage:
 //
 //	capstress                                  # print the report, write BENCH_capsule.json
 //	capstress -out bench.json -serve=false     # hot path only, custom path
 //	capstress -serve-duration 5s -serve-n 4000 # longer serving measurement
+//	capstress -cluster=false                   # skip the cluster scenario
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -28,6 +35,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/capcluster"
 	"repro/internal/capserve"
 	"repro/internal/capsule"
 	"repro/internal/capsule/hotpath"
@@ -55,8 +63,9 @@ type report struct {
 	// Speedups divide mutex ns/op by atomic ns/op for each shared path.
 	Speedups map[string]float64 `json:"speedups"`
 
-	Storm *stormResult `json:"storm,omitempty"`
-	Serve *serveResult `json:"serve,omitempty"`
+	Storm   *stormResult   `json:"storm,omitempty"`
+	Serve   *serveResult   `json:"serve,omitempty"`
+	Cluster *clusterResult `json:"cluster,omitempty"`
 }
 
 type stormResult struct {
@@ -78,12 +87,34 @@ type serveResult struct {
 	DurationS float64 `json:"duration_s"`
 }
 
+// clusterResult is the cluster scenario's tracked numbers: probe/divide
+// across processes, with one backend killed at halftime.
+type clusterResult struct {
+	Backends        int     `json:"backends"`
+	Clients         int     `json:"clients"`
+	N               int     `json:"n"`
+	Requests        int     `json:"requests"`
+	Errors          int     `json:"errors"`
+	RPS             float64 `json:"rps"`
+	RemoteProbes    uint64  `json:"remote_probes"`
+	RemoteGrants    uint64  `json:"remote_grants"`
+	RemoteGrantRate float64 `json:"remote_grant_rate"`
+	LocalFallbacks  uint64  `json:"local_fallbacks"`
+	FallbackRate    float64 `json:"fallback_rate"`
+	Deaths          uint64  `json:"deaths"`
+	BreakerDenies   uint64  `json:"breaker_denies"`
+	DurationS       float64 `json:"duration_s"`
+}
+
 func main() {
 	out := flag.String("out", "BENCH_capsule.json", "output path for the JSON report")
 	serve := flag.Bool("serve", true, "also measure in-process capserve throughput")
 	serveDur := flag.Duration("serve-duration", 2*time.Second, "capserve measurement duration")
 	serveN := flag.Int("serve-n", 2000, "capserve request input size")
 	stormDur := flag.Duration("storm-duration", 500*time.Millisecond, "divide-storm duration for the grant rate")
+	cluster := flag.Bool("cluster", true, "also measure the capcluster router (3 backends, one killed at halftime)")
+	clusterDur := flag.Duration("cluster-duration", 2*time.Second, "cluster scenario duration")
+	clusterN := flag.Int("cluster-n", 800, "cluster scenario request input size")
 	flag.Parse()
 
 	start := time.Now()
@@ -128,6 +159,16 @@ func main() {
 		r.Serve = s
 		fmt.Printf("capserve: %d clients x %s on %s n=%d: %.1f req/s (%d requests, %d errors)\n",
 			s.Clients, serveDur, s.Workload, s.N, s.RPS, s.Requests, s.Errors)
+	}
+
+	if *cluster {
+		c, err := clusterLoop(*clusterDur, *clusterN)
+		if err != nil {
+			fail("cluster measurement: %v", err)
+		}
+		r.Cluster = c
+		fmt.Printf("cluster: %d clients x %s over %d backends (one killed at halftime): %.1f req/s, %d requests, %d errors, grant rate %.3f, fallback rate %.3f, %d deaths\n",
+			c.Clients, clusterDur, c.Backends, c.RPS, c.Requests, c.Errors, c.RemoteGrantRate, c.FallbackRate, c.Deaths)
 	}
 
 	r.DurationS = time.Since(start).Seconds()
@@ -236,6 +277,117 @@ func serveLoop(d time.Duration, n int) (*serveResult, error) {
 		Errors:    int(errors.Load()),
 		RPS:       float64(requests.Load()) / elapsed.Seconds(),
 		DurationS: elapsed.Seconds(),
+	}, nil
+}
+
+// clusterLoop stands up three in-process capserve backends behind a
+// capcluster router and drives it closed-loop with mixed workloads,
+// killing one backend at halftime. The tracked numbers are the remote
+// grant rate (the cluster-scope "% divisions allowed"), the local
+// fallback rate (the cluster degrade), and — the property that matters —
+// zero failed client requests across the kill.
+func clusterLoop(d time.Duration, n int) (*clusterResult, error) {
+	const nBackends = 3
+	var backends []*capserve.Backend
+	var urls []string
+	for i := 0; i < nBackends; i++ {
+		// Small queues on purpose: credit denies (and so local fallbacks)
+		// are part of what this scenario measures.
+		b, err := capserve.StartBackend(capserve.Config{
+			Runtime:    capsule.New(capsule.Config{Contexts: 2, Throttle: true}),
+			QueueDepth: 4,
+		})
+		if err != nil {
+			return nil, err
+		}
+		backends = append(backends, b)
+		urls = append(urls, b.URL)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		for _, b := range backends {
+			b.Close(ctx)
+			b.Runtime().Close()
+		}
+	}()
+
+	clients := 3 * runtime.GOMAXPROCS(0)
+	if clients < 12 {
+		clients = 12
+	}
+	localRT := capsule.NewDefault()
+	defer localRT.Close()
+	// The local queue must absorb a correlated fallback burst (right
+	// after the kill, every client can degrade at once): size it to the
+	// client count, or the zero-errors property would break on machines
+	// with enough cores for clients to outnumber a fixed queue.
+	local, err := capserve.New(capserve.Config{Runtime: localRT, QueueDepth: 4 * clients})
+	if err != nil {
+		return nil, err
+	}
+	router, err := capcluster.New(capcluster.Config{
+		Backends:      urls,
+		Local:         local,
+		FailThreshold: 2,
+		FailWindow:    30 * time.Second, // the victim stays broken for the run
+		Timeout:       5 * time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	router.Refresh()
+	ts := httptest.NewServer(router)
+	defer ts.Close()
+
+	wls := []string{"quicksort", "quicksort", "lzw", "dijkstra"}
+	client := &http.Client{Timeout: 10 * time.Second}
+	var requests, errors atomic.Int64
+	deadline := time.Now().Add(d)
+	halftime := time.AfterFunc(d/2, func() { backends[nBackends-1].Kill() })
+	defer halftime.Stop()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; time.Now().Before(deadline); i++ {
+				wl := wls[(c+i)%len(wls)]
+				url := fmt.Sprintf("%s/run/%s?n=%d&seed=%d", ts.URL, wl, n, c*1000+i%64)
+				resp, err := client.Get(url)
+				if err != nil {
+					errors.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					requests.Add(1)
+				} else {
+					errors.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	s := router.Stats()
+	return &clusterResult{
+		Backends:        nBackends,
+		Clients:         clients,
+		N:               n,
+		Requests:        int(requests.Load()),
+		Errors:          int(errors.Load()),
+		RPS:             float64(requests.Load()) / elapsed.Seconds(),
+		RemoteProbes:    s.RemoteProbes,
+		RemoteGrants:    s.RemoteGrants,
+		RemoteGrantRate: s.RemoteGrantRate(),
+		LocalFallbacks:  s.LocalFallbacks,
+		FallbackRate:    s.FallbackRate(),
+		Deaths:          s.Deaths,
+		BreakerDenies:   s.BreakerDenies,
+		DurationS:       elapsed.Seconds(),
 	}, nil
 }
 

@@ -1,0 +1,374 @@
+// Package capcluster carries the probe/divide protocol across the
+// process boundary: a routing front end that treats a fleet of capserve
+// backends' free capacity as a pool of *remote contexts* and applies the
+// paper's admission discipline to it, one resource tier above
+// internal/capsule.
+//
+// The layering is the point. The simulator's SOMT answers nthr from a
+// hardware context table; the native runtime answers it from an atomic
+// token stack; this package answers it from a per-backend credit gauge —
+// in every tier the probe is a local memory operation, cheap enough to
+// make at every division point, and a refusal degrades to the tier
+// below:
+//
+//	remote probe granted → dispatch to the chosen backend
+//	remote probe refused → the router's own capsule.Runtime (capserve)
+//	local context busy   → the request runs sequentially
+//
+// The mapping from the runtime's mechanisms to the cluster's:
+//
+//   - context tokens   → backend credits: in-flight dispatches vs. the
+//     capacity the backend advertises (response headers on every reply,
+//     /metrics on Refresh). ProbeRemote is a breaker check plus one CAS —
+//     the deny path touches no network and allocates nothing;
+//   - kthr / deaths    → backend errors, timeouts and 5xx responses,
+//     recorded in a per-backend failure ring;
+//   - death throttling → the breaker: enough failures inside the window
+//     deny that backend's probes until the window drains, and the first
+//     probe after the drain is the half-open trial;
+//   - LIFO warm reuse  → placement policy: least-loaded credits (default),
+//     rendezvous hashing for affinity, round-robin as the control.
+//
+// A dispatch that dies retries the next backend (requests are pure
+// functions of (workload, n, seed), so retries are safe) and falls back
+// to the local tier only when every remote probe refused or failed —
+// which is how a killed backend redistributes with zero failed client
+// requests.
+package capcluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/capserve"
+	"repro/internal/promtext"
+)
+
+// Response headers the router stamps so clients and load generators can
+// see where a request actually ran.
+const (
+	// HeaderRoute is "remote" or "local" (the fallback tier).
+	HeaderRoute = "X-Capcluster-Route"
+	// HeaderBackend is the serving backend's name (host:port), remote
+	// routes only.
+	HeaderBackend = "X-Capcluster-Backend"
+)
+
+// statusClientClosed mirrors capserve's 499: the client hung up before
+// the router could finish.
+const statusClientClosed = 499
+
+// Defaults applied by New for zero Config fields.
+const (
+	// DefaultCredits is the initial per-backend credit ceiling, spent
+	// before the first header or scrape teaches the real capacity.
+	DefaultCredits = 4
+	// DefaultMaxCredits caps learned credits so a corrupt header cannot
+	// open the floodgates.
+	DefaultMaxCredits = 1024
+	// DefaultFailThreshold failures inside DefaultFailWindow trip a
+	// backend's breaker.
+	DefaultFailThreshold = 3
+	// DefaultFailWindow is the breaker's trailing window.
+	DefaultFailWindow = 2 * time.Second
+	// DefaultTimeout bounds one remote dispatch end to end.
+	DefaultTimeout = 10 * time.Second
+	// DefaultMaxBody caps buffered POST bodies (they are replayed on
+	// retry and fallback, so they must be held in memory).
+	DefaultMaxBody = 1 << 20
+)
+
+// Config parameterises a Router.
+type Config struct {
+	// Backends are the capserve base URLs the router shards over. May be
+	// empty: a router with no fleet is just its local tier.
+	Backends []string
+
+	// Local is the fallback tier — a capserve.Server on the router's own
+	// runtime — and the handler for everything the fleet refuses.
+	// Required.
+	Local *capserve.Server
+
+	// Placement picks each request's preferred backend. Default:
+	// LeastLoaded.
+	Placement Placement
+
+	// Credits is the initial per-backend credit ceiling. Default:
+	// DefaultCredits.
+	Credits int
+
+	// MaxCredits caps credits learned from headers and scrapes. Default:
+	// DefaultMaxCredits.
+	MaxCredits int
+
+	// FailThreshold failures within FailWindow trip a backend's breaker.
+	// Defaults: DefaultFailThreshold, DefaultFailWindow.
+	FailThreshold int
+	FailWindow    time.Duration
+
+	// Timeout bounds one remote dispatch. Default: DefaultTimeout.
+	Timeout time.Duration
+
+	// MaxBody caps buffered POST bodies. Default: DefaultMaxBody.
+	MaxBody int64
+
+	// Transport overrides the dispatch transport (tests). Default:
+	// http.DefaultTransport.
+	Transport http.RoundTripper
+}
+
+// Validate reports whether cfg can build a Router.
+func (cfg Config) Validate() error {
+	if cfg.Local == nil {
+		return fmt.Errorf("capcluster: Config.Local (the fallback capserve.Server) is required")
+	}
+	for _, b := range cfg.Backends {
+		u, err := url.Parse(b)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return fmt.Errorf("capcluster: backend %q is not an http(s) base URL", b)
+		}
+	}
+	if cfg.Credits < 0 || cfg.MaxCredits < 0 || cfg.FailThreshold < 0 {
+		return fmt.Errorf("capcluster: Credits, MaxCredits and FailThreshold must be >= 0 (0 means default)")
+	}
+	// The gauge packs credits into 32 bits; anything near that is a typo,
+	// and letting it through would silently truncate — a fleet parked at
+	// zero credits with no error.
+	const creditCeiling = 1 << 30
+	if cfg.Credits > creditCeiling || cfg.MaxCredits > creditCeiling {
+		return fmt.Errorf("capcluster: Credits and MaxCredits must be <= %d, got %d/%d", creditCeiling, cfg.Credits, cfg.MaxCredits)
+	}
+	// The failure ring allocates next-pow2(threshold) slots per backend;
+	// a huge threshold is a typo that would OOM at startup.
+	const thresholdCeiling = 1 << 20
+	if cfg.FailThreshold > thresholdCeiling {
+		return fmt.Errorf("capcluster: FailThreshold must be <= %d, got %d", thresholdCeiling, cfg.FailThreshold)
+	}
+	if cfg.FailWindow < 0 || cfg.Timeout < 0 || cfg.MaxBody < 0 {
+		return fmt.Errorf("capcluster: FailWindow, Timeout and MaxBody must be >= 0 (0 means default)")
+	}
+	return nil
+}
+
+// Router is the cluster front end: an http.Handler serving the same
+// /run/{workload} API as capserve, with /healthz, /metrics and an index
+// at /. Build with New, mount anywhere; on shutdown call
+// SetDraining(true) before http.Server.Shutdown, exactly like capserve.
+type Router struct {
+	cfg      Config
+	backends []*Backend
+	local    *capserve.Server
+	place    Placement
+	client   *http.Client
+	mux      *http.ServeMux
+	start    time.Time
+	draining atomic.Bool
+
+	requests       atomic.Uint64
+	remoteProbes   atomic.Uint64
+	remoteGrants   atomic.Uint64
+	localFallbacks atomic.Uint64
+	clientGone     atomic.Uint64
+	refreshErrs    atomic.Uint64
+}
+
+// New builds a Router from cfg, applying defaults for zero fields.
+func New(cfg Config) (*Router, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Placement == nil {
+		cfg.Placement = LeastLoaded{}
+	}
+	if cfg.Credits == 0 {
+		cfg.Credits = DefaultCredits
+	}
+	if cfg.MaxCredits == 0 {
+		cfg.MaxCredits = DefaultMaxCredits
+	}
+	if cfg.FailThreshold == 0 {
+		cfg.FailThreshold = DefaultFailThreshold
+	}
+	if cfg.FailWindow == 0 {
+		cfg.FailWindow = DefaultFailWindow
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = DefaultTimeout
+	}
+	if cfg.MaxBody == 0 {
+		cfg.MaxBody = DefaultMaxBody
+	}
+	transport := cfg.Transport
+	if transport == nil {
+		transport = http.DefaultTransport
+	}
+	r := &Router{
+		cfg:    cfg,
+		local:  cfg.Local,
+		place:  cfg.Placement,
+		client: &http.Client{Transport: transport, Timeout: cfg.Timeout},
+		mux:    http.NewServeMux(),
+		start:  time.Now(),
+	}
+	for i, base := range cfg.Backends {
+		u, _ := url.Parse(base) // validated above
+		r.backends = append(r.backends, newBackend(
+			base, u.Host, i, cfg.Credits, cfg.MaxCredits, cfg.FailThreshold, cfg.FailWindow))
+	}
+	r.mux.HandleFunc("GET /healthz", r.handleHealthz)
+	r.mux.HandleFunc("GET /metrics", r.handleMetrics)
+	r.mux.HandleFunc("GET /run/{workload}", r.handleRun)
+	r.mux.HandleFunc("POST /run/{workload}", r.handleRun)
+	r.mux.HandleFunc("GET /{$}", r.handleIndex)
+	return r, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (r *Router) ServeHTTP(w http.ResponseWriter, req *http.Request) { r.mux.ServeHTTP(w, req) }
+
+// Backends returns the fleet in configuration order.
+func (r *Router) Backends() []*Backend { return r.backends }
+
+// Local returns the fallback tier.
+func (r *Router) Local() *capserve.Server { return r.local }
+
+// SetDraining flips /healthz to 503 so balancers stop routing here
+// before shutdown cuts the listener. Draining never refuses an admitted
+// request — same contract as capserve.
+func (r *Router) SetDraining(v bool) { r.draining.Store(v) }
+
+func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	if r.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (r *Router) handleIndex(w http.ResponseWriter, req *http.Request) {
+	type backendInfo struct {
+		URL      string `json:"url"`
+		Credits  int    `json:"credits"`
+		Inflight int    `json:"inflight"`
+		Broken   bool   `json:"broken"`
+	}
+	infos := make([]backendInfo, len(r.backends))
+	for i, b := range r.backends {
+		infos[i] = backendInfo{URL: b.url, Credits: b.Credits(), Inflight: b.Inflight(), Broken: b.Broken()}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"placement": r.place.Name(),
+		"backends":  infos,
+		"local": map[string]any{
+			"contexts":    r.local.Runtime().Contexts(),
+			"queue_depth": r.local.QueueDepth(),
+		},
+		"endpoints": []string{"/run/{workload}?n=&seed=", "/healthz", "/metrics"},
+	})
+}
+
+// handleRun is the cluster-scope division point. Remote probes walk the
+// fleet in placement order; the first grant dispatches. A shed or death
+// moves on to the next backend (each probed at most once), and when the
+// whole fleet has refused or failed the request degrades to the local
+// tier — capserve, which may degrade it once more to sequential. The
+// request itself never fails on a backend's account.
+func (r *Router) handleRun(w http.ResponseWriter, req *http.Request) {
+	r.requests.Add(1)
+
+	// Buffer the body up front: it is replayed on retry and fallback.
+	var body []byte
+	if req.Method == http.MethodPost && req.Body != nil && req.ContentLength != 0 {
+		var err error
+		body, err = io.ReadAll(io.LimitReader(req.Body, r.cfg.MaxBody+1))
+		if err != nil {
+			http.Error(w, fmt.Sprintf("reading body: %v", err), http.StatusBadRequest)
+			return
+		}
+		if int64(len(body)) > r.cfg.MaxBody {
+			http.Error(w, fmt.Sprintf("body exceeds the %d-byte cap", r.cfg.MaxBody), http.StatusRequestEntityTooLarge)
+			return
+		}
+	}
+
+	if n := len(r.backends); n > 0 {
+		first := r.place.Pick(placeKey(req.PathValue("workload"), req.URL.RawQuery), r.backends)
+		for i := 0; i < n; i++ {
+			b := r.backends[(first+i)%n]
+			r.remoteProbes.Add(1)
+			if !b.probe() {
+				continue
+			}
+			r.remoteGrants.Add(1)
+			switch r.dispatch(w, req, b, body) {
+			case dispatched:
+				return
+			case clientGone:
+				r.clientGone.Add(1)
+				w.WriteHeader(statusClientClosed)
+				return
+			}
+			// shed or died: probe the next backend.
+		}
+	}
+
+	// Every remote tier refused or failed: degrade to the local runtime.
+	r.localFallbacks.Add(1)
+	if body != nil {
+		req.Body = io.NopCloser(bytes.NewReader(body))
+		req.ContentLength = int64(len(body))
+	}
+	w.Header().Set(HeaderRoute, "local")
+	r.local.ServeHTTP(w, req)
+}
+
+// Refresh re-learns every backend's credit headroom from its /metrics
+// (capserve_queue_depth minus capserve_queue_occupancy). It is the slow
+// capacity feed — response headers are the fast one — and the recovery
+// path for a backend parked at zero credits with no traffic to advertise
+// through. Backends are scraped concurrently, so one unreachable backend
+// costs the fleet max(timeout), not sum — the recovery feed must not be
+// starved by exactly the sick backend it exists to work around.
+// cmd/caprouter runs it on a ticker; tests call it directly.
+func (r *Router) Refresh() {
+	var wg sync.WaitGroup
+	for _, b := range r.backends {
+		wg.Add(1)
+		go func(b *Backend) {
+			defer wg.Done()
+			if err := r.refreshBackend(b); err != nil {
+				r.refreshErrs.Add(1)
+			}
+		}(b)
+	}
+	wg.Wait()
+}
+
+func (r *Router) refreshBackend(b *Backend) error {
+	resp, err := r.client.Get(b.url + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	samples := promtext.Parse(raw)
+	depth, dok := promtext.Value(samples, "capserve_queue_depth")
+	occ, ook := promtext.Value(samples, "capserve_queue_occupancy")
+	if !dok || !ook {
+		return fmt.Errorf("capcluster: %s/metrics missing queue gauges", b.name)
+	}
+	b.learn(int(depth - occ))
+	return nil
+}

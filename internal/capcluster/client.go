@@ -1,0 +1,108 @@
+package capcluster
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strconv"
+
+	"repro/internal/capserve"
+)
+
+// outcome classifies one remote dispatch attempt.
+type outcome int
+
+const (
+	// dispatched: a response (2xx or proxied 4xx) was written to the
+	// client. The request is done.
+	dispatched outcome = iota
+	// shed: the backend 503ed — our credit estimate was stale, the
+	// backend is alive and said so. Not a death; try the next backend.
+	shed
+	// died: transport error, timeout or 5xx — a cluster-scope kthr,
+	// recorded in the backend's failure ring. Try the next backend.
+	died
+	// clientGone: our own client hung up mid-dispatch. Nobody is waiting;
+	// stop routing.
+	clientGone
+)
+
+// dispatch forwards one admitted (probe-granted) request to b and relays
+// the response. It owns the granted credit: every path releases exactly
+// once, after the response — and its headroom header, the fast credit
+// feed — has been consumed.
+func (r *Router) dispatch(w http.ResponseWriter, req *http.Request, b *Backend, body []byte) outcome {
+	defer b.release()
+	b.dispatches.Add(1)
+
+	target := b.url + req.URL.Path
+	if req.URL.RawQuery != "" {
+		target += "?" + req.URL.RawQuery
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	out, err := http.NewRequestWithContext(req.Context(), req.Method, target, rd)
+	if err != nil {
+		b.fail()
+		return died
+	}
+	if ct := req.Header.Get("Content-Type"); ct != "" {
+		out.Header.Set("Content-Type", ct)
+	}
+
+	resp, err := r.client.Do(out)
+	if err != nil {
+		if req.Context().Err() != nil {
+			// The abort was ours, not the backend's: no death — but a
+			// trial dispatch must not leave its probation slot dangling.
+			b.abortTrial()
+			return clientGone
+		}
+		b.fail()
+		return died
+	}
+	defer resp.Body.Close()
+
+	// Any response at all means the backend is alive: close probation
+	// before classifying the status.
+	b.recover()
+
+	// The fast credit feed: every capserve response advertises its queue
+	// headroom at the instant it answered.
+	if free, aerr := strconv.Atoi(resp.Header.Get(capserve.HeaderQueueFree)); aerr == nil {
+		b.learn(free)
+	}
+
+	switch {
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		io.Copy(io.Discard, resp.Body)
+		b.sheds.Add(1)
+		return shed
+	case resp.StatusCode >= 500:
+		io.Copy(io.Discard, resp.Body)
+		b.fail()
+		return died
+	}
+
+	// 2xx and 4xx proxy through verbatim: a 400/404/413 is the client's
+	// conversation with the API, not a backend health event.
+	h := w.Header()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		h.Set("Content-Type", ct)
+	}
+	h.Set(HeaderRoute, "remote")
+	h.Set(HeaderBackend, b.name)
+	w.WriteHeader(resp.StatusCode)
+	if _, err := io.Copy(w, resp.Body); err != nil {
+		// Headers are gone; all that's left is the accounting. A backend
+		// dying mid-body is a death even though the status was fine.
+		if req.Context().Err() == nil {
+			b.fail()
+		}
+		return dispatched
+	}
+	b.served.Add(1)
+	return dispatched
+}

@@ -1,0 +1,215 @@
+package capcluster
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// A Backend is one remote capserve instance as the router sees it: a URL
+// plus the purely local bookkeeping that makes a remote probe a memory
+// operation. Two structures carry the probe/divide protocol across the
+// process boundary:
+//
+//   - a credit gauge — advertised capacity vs. in-flight dispatches,
+//     packed into one atomic word so the probe is a load and a CAS, the
+//     exact shape of the runtime's token-stack probe. Credits are the
+//     cluster's context tokens: the router grants a dispatch only while
+//     it holds headroom the backend has advertised, so the deny path
+//     never touches the network;
+//   - a failure ring — the breaker described on failRing: backend
+//     errors/timeouts are cluster-scope deaths, and enough of them
+//     inside the window deny further probes until it drains.
+//
+// Counters are cumulative since construction and exported on the
+// router's /metrics per backend.
+type Backend struct {
+	url      string
+	name     string // host:port, the metrics label
+	id       int    // index in this router's fleet (NOT stable across configs)
+	nameHash uint64 // FNV of url: the identity rendezvous hashing keys on
+
+	// gauge packs {credits:32 | inflight:32}: the credit ceiling in the
+	// high half, current in-flight dispatches in the low half. One word
+	// means probe (CAS +1 on the low half), release (subtract 1) and
+	// learn (replace the high half) can never tear against each other.
+	gauge atomic.Uint64
+
+	ring          failRing
+	failThreshold int
+	failWindowNS  int64
+	maxCredits    uint32
+	now           func() int64 // injectable monotonic clock, as in capsule
+
+	// probation is the half-open gate: after a breaker trip, re-admission
+	// is one trial dispatch at a time, not a stampede. Without it a
+	// black-holing backend (timeouts, not connection-refused) would stall
+	// every concurrent request for a full dispatch Timeout each drain
+	// cycle; with it the exposure is bounded to one in-flight trial per
+	// quiet window.
+	probation atomic.Uint32
+
+	dispatches    atomic.Uint64 // granted probes that went to the wire
+	served        atomic.Uint64 // responses proxied back to a client
+	sheds         atomic.Uint64 // backend 503s (stale credits, not deaths)
+	deaths        atomic.Uint64 // transport errors, timeouts, 5xx
+	creditDenies  atomic.Uint64 // probes refused for lack of credit
+	breakerDenies atomic.Uint64 // probes refused by the failure breaker
+}
+
+const gaugeLowMask = uint64(0xFFFFFFFF)
+
+// probation states.
+const (
+	probationOff   uint32 = iota // normal operation
+	probationWait                // breaker tripped: admit one trial once the window is quiet
+	probationTrial               // the trial dispatch is in flight
+)
+
+func newBackend(url, name string, id, credits, maxCredits, failThreshold int, failWindow time.Duration) *Backend {
+	b := &Backend{
+		url:           url,
+		name:          name,
+		id:            id,
+		nameHash:      fnv64(url),
+		failThreshold: failThreshold,
+		failWindowNS:  failWindow.Nanoseconds(),
+		maxCredits:    uint32(maxCredits),
+		now:           func() int64 { return time.Now().UnixNano() },
+	}
+	b.ring.init(failThreshold)
+	b.setCredits(credits)
+	return b
+}
+
+// URL returns the backend's base URL.
+func (b *Backend) URL() string { return b.url }
+
+// Name returns the backend's metrics label (host:port).
+func (b *Backend) Name() string { return b.name }
+
+// Credits returns the current credit ceiling (a peek, like FreeContexts).
+func (b *Backend) Credits() int { return int(uint32(b.gauge.Load() >> 32)) }
+
+// Inflight returns the dispatches currently holding a credit.
+func (b *Backend) Inflight() int { return int(uint32(b.gauge.Load())) }
+
+// Broken reports whether the failure breaker is currently denying
+// probes: at least failThreshold failures inside the trailing window.
+func (b *Backend) Broken() bool {
+	return b.ring.atLeast(b.failThreshold, b.now, b.failWindowNS)
+}
+
+// probe is ProbeRemote for this backend: reserve one credit, or refuse.
+// The deny path is allocation-free and network-free — a breaker check
+// (one or two atomic loads, clock only if failures exist), a probation
+// load, and one gauge load — so the router can afford a probe per
+// backend per request, the same economics the paper demands of nthr. On
+// success the caller owes exactly one release.
+func (b *Backend) probe() bool {
+	if b.ring.atLeast(b.failThreshold, b.now, b.failWindowNS) {
+		b.breakerDenies.Add(1)
+		return false
+	}
+	switch b.probation.Load() {
+	case probationWait:
+		// Re-admission after a trip is gated twice: the window must be
+		// fully quiet (not one failure in it — so failed trials retry at
+		// most once per window), and only one prober wins the trial slot.
+		if b.ring.atLeast(1, b.now, b.failWindowNS) ||
+			!b.probation.CompareAndSwap(probationWait, probationTrial) {
+			b.breakerDenies.Add(1)
+			return false
+		}
+		// This probe is the half-open trial; fall through to the credits.
+	case probationTrial:
+		b.breakerDenies.Add(1)
+		return false
+	}
+	for {
+		g := b.gauge.Load()
+		if uint32(g) >= uint32(g>>32) { // inflight >= credits
+			// A trial that cannot dispatch has nothing to resolve it:
+			// hand the slot back. (Swapping a concurrent winner's slot is
+			// possible and benign — one extra trial, still bounded.)
+			b.probation.CompareAndSwap(probationTrial, probationWait)
+			b.creditDenies.Add(1)
+			return false
+		}
+		if b.gauge.CompareAndSwap(g, g+1) {
+			return true
+		}
+	}
+}
+
+// release returns one credit. Subtracting 1 from the packed word cannot
+// borrow into the credits half: inflight > 0 whenever a release is owed,
+// because each release pairs with exactly one granted probe.
+func (b *Backend) release() { b.gauge.Add(^uint64(0)) }
+
+// fail records one cluster-scope death (error, timeout, 5xx) in the
+// breaker ring, and arms (or re-arms, for a failed trial) the half-open
+// probation gate.
+func (b *Backend) fail() {
+	b.deaths.Add(1)
+	b.ring.record(b.now())
+	if b.probation.Load() == probationTrial ||
+		b.ring.atLeast(b.failThreshold, b.now, b.failWindowNS) {
+		b.probation.Store(probationWait)
+	}
+}
+
+// recover marks the backend alive: any received response (2xx, 4xx,
+// even a shed) closes probation and restores full probing.
+func (b *Backend) recover() {
+	if b.probation.Load() != probationOff {
+		b.probation.Store(probationOff)
+	}
+}
+
+// abortTrial hands an unresolvable trial slot back (the routed client
+// hung up mid-dispatch, so neither fail nor recover will run).
+func (b *Backend) abortTrial() {
+	b.probation.CompareAndSwap(probationTrial, probationWait)
+}
+
+// setCredits replaces the credit ceiling outright, preserving inflight.
+func (b *Backend) setCredits(c int) {
+	if c < 0 {
+		c = 0
+	}
+	if uint32(c) > b.maxCredits {
+		c = int(b.maxCredits)
+	}
+	for {
+		g := b.gauge.Load()
+		ng := uint64(c)<<32 | g&gaugeLowMask
+		if g == ng || b.gauge.CompareAndSwap(g, ng) {
+			return
+		}
+	}
+}
+
+// learn folds one advertised headroom reading (a response header or a
+// /metrics scrape) into the gauge: the backend can absorb everything
+// this router already has in flight plus the free slots it just
+// advertised, capped at maxCredits. Stale advertisements self-correct —
+// a backend whose queue other tenants filled advertises less, and the
+// gauge shrinks with it. learn(0) with zero in flight parks the backend
+// at zero credits; the periodic Refresh scrape is the recovery path.
+func (b *Backend) learn(free int) {
+	if free < 0 {
+		return
+	}
+	for {
+		g := b.gauge.Load()
+		inf := g & gaugeLowMask
+		c := inf + uint64(free)
+		if c > uint64(b.maxCredits) {
+			c = uint64(b.maxCredits)
+		}
+		ng := c<<32 | inf
+		if g == ng || b.gauge.CompareAndSwap(g, ng) {
+			return
+		}
+	}
+}

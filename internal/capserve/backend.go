@@ -1,0 +1,98 @@
+package capserve
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+
+	"repro/internal/capsule"
+)
+
+// Backend is an in-process capserve instance on a real loopback
+// listener: a separate capserve process in everything but pid. It is
+// what `caprouter -spawn` boots, what the cluster tests front, and what
+// capstress kills mid-run — real TCP, real HTTP, so a router talking to
+// it exercises exactly the code path it uses against remote processes.
+type Backend struct {
+	// Server is the serving layer itself, for direct access to
+	// SetDraining, Runtime and metrics.
+	Server *Server
+	// URL is the backend's base URL (http://127.0.0.1:port).
+	URL string
+
+	hs    *net.TCPListener
+	srv   *http.Server
+	rt    *capsule.Runtime
+	ownRT bool
+}
+
+// StartBackend builds a Server from cfg and serves it on an ephemeral
+// loopback port. A nil cfg.Runtime gets a fresh default runtime that the
+// Backend owns (Close shuts it down); a caller-supplied runtime is left
+// to its owner.
+func StartBackend(cfg Config) (*Backend, error) {
+	ownRT := false
+	if cfg.Runtime == nil {
+		cfg.Runtime = capsule.NewDefault()
+		ownRT = true
+	}
+	s, err := New(cfg)
+	if err != nil {
+		if ownRT {
+			cfg.Runtime.Close()
+		}
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		if ownRT {
+			cfg.Runtime.Close()
+		}
+		return nil, fmt.Errorf("capserve: backend listen: %w", err)
+	}
+	b := &Backend{
+		Server: s,
+		URL:    "http://" + ln.Addr().String(),
+		hs:     ln.(*net.TCPListener),
+		srv:    &http.Server{Handler: s},
+		rt:     cfg.Runtime,
+		ownRT:  ownRT,
+	}
+	go b.srv.Serve(ln)
+	return b, nil
+}
+
+// Runtime returns the backend's capsule runtime.
+func (b *Backend) Runtime() *capsule.Runtime { return b.rt }
+
+// Close drains the backend in the documented shutdown order — the same
+// order cmd/capserve performs on SIGTERM, codified so every embedder
+// gets it right:
+//
+//  1. SetDraining(true): /healthz flips to 503 while the listener is
+//     still open, so a balancer polling it stops routing here first;
+//  2. http.Server.Shutdown: the listener closes and in-flight requests
+//     run to completion (bounded by ctx) — an already-admitted request
+//     is never 503ed by the drain;
+//  3. the runtime closes (only if this Backend created it), retiring the
+//     parked per-context workers.
+//
+// Close is safe to call more than once.
+func (b *Backend) Close(ctx context.Context) error {
+	b.Server.SetDraining(true)
+	err := b.srv.Shutdown(ctx)
+	if b.ownRT && err == nil {
+		// Handlers are done (Shutdown returned clean), so Close cannot
+		// block on in-flight divisions.
+		b.rt.Close()
+	}
+	return err
+}
+
+// Kill tears the backend down with no drain: the listener and every
+// established connection close immediately, so in-flight requests die
+// with transport errors — a crashed process, as its routers see it. The
+// runtime is left running (a real crash doesn't run destructors either);
+// tests that care call Runtime().Close themselves.
+func (b *Backend) Kill() { b.srv.Close() }

@@ -41,6 +41,21 @@ import (
 // getting in honest traffic's way.
 const DefaultMaxN = 1 << 20
 
+// Headroom headers: every /run response advertises the server's
+// instantaneous free capacity, so a routing tier (internal/capcluster)
+// can keep a local credit gauge per backend and answer its remote probes
+// without a network round-trip — the response traffic it already has IS
+// the capacity feed.
+const (
+	// HeaderQueueFree is the number of accept-queue slots free at
+	// response time (the responding request still holds its own slot, so
+	// the value is conservative by exactly the in-flight requests).
+	HeaderQueueFree = "X-Capserve-Queue-Free"
+	// HeaderFreeContexts is the runtime's unreserved context-token count
+	// — division headroom, not admission headroom.
+	HeaderFreeContexts = "X-Capsule-Free-Contexts"
+)
+
 // defaultCaps are the per-workload default input caps. They bound
 // worst-case per-request *time*, not just memory, so they track each
 // algorithm's cost curve: dijkstra's flooding exploration is superlinear
@@ -207,6 +222,14 @@ type runResponse struct {
 	Divisions capsule.GroupStats `json:"divisions"`
 }
 
+// setHeadroom stamps the credit-feed headers with the server's current
+// free capacity. Called at admission (so sheds and errors carry it too)
+// and again right before a 200 body, when the values are freshest.
+func (s *Server) setHeadroom(h http.Header) {
+	h.Set(HeaderQueueFree, strconv.Itoa(cap(s.queue)-len(s.queue)))
+	h.Set(HeaderFreeContexts, strconv.Itoa(s.rt.FreeContexts()))
+}
+
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	wl := r.PathValue("workload")
 	ep, ok := s.eps[wl]
@@ -215,6 +238,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("unknown workload %q (have %v)", wl, s.workloads), http.StatusNotFound)
 		return
 	}
+	s.setHeadroom(w.Header())
 
 	// Bounded accept queue: full means shed now, not queue forever.
 	select {
@@ -223,6 +247,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	default:
 		s.shed.Add(1)
 		ep.inc(http.StatusServiceUnavailable)
+		// Re-stamp: the admission-time stamp can predate the queue
+		// filling, and a shed advertising stale positive headroom would
+		// tell routers to keep sending to a saturated backend.
+		s.setHeadroom(w.Header())
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, "accept queue full, request shed", http.StatusServiceUnavailable)
 		return
@@ -282,6 +310,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	ep.inc(http.StatusOK)
 	ep.latency.observe(time.Since(start))
+	s.setHeadroom(w.Header()) // refresh: this is the value routers act on
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
 }

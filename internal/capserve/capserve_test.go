@@ -310,6 +310,154 @@ func TestMetrics(t *testing.T) {
 	}
 }
 
+// TestHeadroomGauges asserts the instantaneous-capacity gauges a routing
+// tier depends on: queue occupancy and free contexts, idle and mid-flight.
+func TestHeadroomGauges(t *testing.T) {
+	s, ts := newTestServer(t, Config{QueueDepth: 8})
+	m := scrape(t, ts.URL)
+	if m["capserve_queue_occupancy"] != 0 {
+		t.Fatalf("idle queue occupancy = %v, want 0", m["capserve_queue_occupancy"])
+	}
+	if m["capsule_free_contexts"] != 4 {
+		t.Fatalf("idle free contexts = %v, want 4", m["capsule_free_contexts"])
+	}
+	if m["capserve_queue_in_flight"] != m["capserve_queue_occupancy"] {
+		t.Fatalf("in_flight alias %v != occupancy %v", m["capserve_queue_in_flight"], m["capserve_queue_occupancy"])
+	}
+	// Hold two queue slots and two context tokens: both gauges must move.
+	s.queue <- struct{}{}
+	s.queue <- struct{}{}
+	c1, _ := s.rt.Probe()
+	c2, _ := s.rt.Probe()
+	m = scrape(t, ts.URL)
+	if m["capserve_queue_occupancy"] != 2 {
+		t.Fatalf("occupancy = %v with 2 held slots, want 2", m["capserve_queue_occupancy"])
+	}
+	if m["capsule_free_contexts"] != 2 {
+		t.Fatalf("free contexts = %v with 2 held tokens, want 2", m["capsule_free_contexts"])
+	}
+	s.rt.Release(c1)
+	s.rt.Release(c2)
+	<-s.queue
+	<-s.queue
+}
+
+// TestHeadroomHeaders asserts every /run response advertises queue and
+// context headroom — the credit feed the cluster router lives on.
+func TestHeadroomHeaders(t *testing.T) {
+	s, ts := newTestServer(t, Config{QueueDepth: 8})
+	resp := getJSON(t, ts.URL+"/run/quicksort?n=100", nil)
+	free, err := strconv.Atoi(resp.Header.Get(HeaderQueueFree))
+	if err != nil || free < 0 || free > 8 {
+		t.Fatalf("%s = %q, want an int in [0,8]", HeaderQueueFree, resp.Header.Get(HeaderQueueFree))
+	}
+	if _, err := strconv.Atoi(resp.Header.Get(HeaderFreeContexts)); err != nil {
+		t.Fatalf("%s = %q, want an int", HeaderFreeContexts, resp.Header.Get(HeaderFreeContexts))
+	}
+	// A shed carries the headers too (queue full → zero free slots): the
+	// refusal itself tells the router to stop sending.
+	for i := 0; i < 8; i++ {
+		s.queue <- struct{}{}
+	}
+	resp = getJSON(t, ts.URL+"/run/quicksort?n=100", nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d with full queue, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get(HeaderQueueFree); got != "0" {
+		t.Fatalf("shed %s = %q, want 0", HeaderQueueFree, got)
+	}
+	for i := 0; i < 8; i++ {
+		<-s.queue
+	}
+}
+
+// TestDrainingNeverShedsAdmitted is the draining race: SetDraining
+// flipped while requests are mid-flight must never turn an
+// already-admitted request into a 503 — draining only gates /healthz,
+// admission itself is the queue's job.
+func TestDrainingNeverShedsAdmitted(t *testing.T) {
+	rt := capsule.New(capsule.Config{Contexts: 2, Throttle: true})
+	s, ts := newTestServer(t, Config{Runtime: rt, QueueDepth: 64})
+	for round := 0; round < 4; round++ {
+		var wg sync.WaitGroup
+		var bad atomic.Int64
+		for i := 0; i < 16; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				resp, err := http.Get(fmt.Sprintf("%s/run/dijkstra?n=1500&seed=%d", ts.URL, i))
+				if err != nil {
+					bad.Add(1)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					bad.Add(1)
+				}
+			}(i)
+		}
+		// Wait until at least one request holds a queue slot, then flip
+		// draining mid-flight, both ways.
+		for len(s.queue) == 0 {
+			time.Sleep(50 * time.Microsecond)
+		}
+		s.SetDraining(true)
+		if resp := getJSON(t, ts.URL+"/healthz", nil); resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("healthz = %d while draining, want 503", resp.StatusCode)
+		}
+		s.SetDraining(false)
+		wg.Wait()
+		if bad.Load() != 0 {
+			t.Fatalf("round %d: %d admitted requests failed across a draining flip", round, bad.Load())
+		}
+	}
+}
+
+// TestBackendCloseDrains covers the in-process backend's shutdown order:
+// an in-flight request admitted before Close completes with 200, Close
+// returns clean, and the listener only refuses connections afterwards.
+func TestBackendCloseDrains(t *testing.T) {
+	b, err := StartBackend(Config{Runtime: capsule.New(capsule.Config{Contexts: 2, Throttle: true}), QueueDepth: 8})
+	if err != nil {
+		t.Fatalf("StartBackend: %v", err)
+	}
+	// /healthz flips to 503 the moment draining is set, while the
+	// listener is still accepting: the balancer sees the drain first.
+	b.Server.SetDraining(true)
+	if resp := getJSON(t, b.URL+"/healthz", nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz = %d, want 503", resp.StatusCode)
+	}
+	b.Server.SetDraining(false)
+
+	slow := make(chan int, 1)
+	go func() {
+		resp, err := http.Get(b.URL + "/run/dijkstra?n=2500&seed=1")
+		if err != nil {
+			slow <- 0
+			return
+		}
+		resp.Body.Close()
+		slow <- resp.StatusCode
+	}()
+	for len(b.Server.queue) == 0 { // admitted?
+		time.Sleep(50 * time.Microsecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := b.Close(ctx); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if code := <-slow; code != http.StatusOK {
+		t.Fatalf("request admitted before Close finished with %d, want 200", code)
+	}
+	if _, err := http.Get(b.URL + "/healthz"); err == nil {
+		t.Fatal("listener still accepting after Close")
+	}
+	if err := b.Close(ctx); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
 // TestConcurrentLoadSharesRuntime is the in-process smoke of the serving
 // claim: many concurrent requests across all endpoints on one shared
 // runtime, every response 200 or 503 (shed), never anything else, and the

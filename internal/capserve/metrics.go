@@ -98,6 +98,12 @@ func (e *endpoint) inc(code int) {
 	e.byCode[4].Add(1)
 }
 
+// WriteMetrics renders the server's Prometheus exposition to w. It is
+// what /metrics serves, exported for embedders (caprouter mounts a Server
+// as its local fallback tier and publishes these series on its own
+// /metrics next to the caprouter_* ones).
+func (s *Server) WriteMetrics(w io.Writer) { s.writeMetrics(w) }
+
 // writeMetrics renders the full exposition: the shared runtime's Stats
 // (the paper's counters, now serving observables) followed by the
 // per-endpoint serving counters and latency histograms.
@@ -128,9 +134,16 @@ func (s *Server) writeMetrics(w io.Writer) {
 	counter("capsule_lock_acquires_total", "Lock-table acquisitions (mlock).", st.LockAcquires)
 	gauge("capsule_grant_rate", "Fraction of probes granted (the paper's \"% divisions allowed\").", st.GrantRate())
 
+	// Headroom gauges: the instantaneous free capacity a routing tier
+	// (caprouter) treats as this backend's credits. Cumulative counters
+	// tell an operator what happened; these two say what the server could
+	// absorb right now.
+	gauge("capsule_free_contexts", "Currently unreserved context tokens (instantaneous division headroom).", float64(s.rt.FreeContexts()))
+
 	gauge("capserve_uptime_seconds", "Seconds since the server was built.", time.Since(s.start).Seconds())
 	gauge("capserve_queue_depth", "Bounded accept-queue capacity.", float64(cap(s.queue)))
-	gauge("capserve_queue_in_flight", "Requests currently holding a queue slot.", float64(len(s.queue)))
+	gauge("capserve_queue_occupancy", "Requests currently holding an accept-queue slot.", float64(len(s.queue)))
+	gauge("capserve_queue_in_flight", "Requests currently holding a queue slot (alias of capserve_queue_occupancy, kept for older dashboards).", float64(len(s.queue)))
 	counter("capserve_shed_total", "Requests shed with 503 because the accept queue was full.", s.shed.Load())
 	counter("capserve_not_found_total", "Requests for unknown workloads.", s.notFound.Load())
 

@@ -34,6 +34,7 @@ package repro
 
 import (
 	"repro/internal/asm"
+	"repro/internal/capcluster"
 	"repro/internal/capserve"
 	"repro/internal/capsule"
 	"repro/internal/core"
@@ -148,3 +149,18 @@ type (
 // NewServer builds the serving layer over a shared native runtime. The
 // returned Server implements http.Handler.
 func NewServer(cfg ServerConfig) (*Server, error) { return capserve.New(cfg) }
+
+// Cluster tier: probe/divide across processes. A Router fronts a fleet
+// of capserve backends, treating each backend's advertised free capacity
+// as remote contexts — remote probes are local credit checks, backend
+// failures are cluster-scope deaths feeding a circuit breaker, and
+// refusals degrade to the router's own Runtime and from there to
+// sequential (see internal/capcluster and cmd/caprouter).
+type (
+	Router       = capcluster.Router
+	RouterConfig = capcluster.Config
+)
+
+// NewRouter builds the cluster front end. The returned Router implements
+// http.Handler and serves the same /run/{workload} API as a Server.
+func NewRouter(cfg RouterConfig) (*Router, error) { return capcluster.New(cfg) }
