@@ -44,6 +44,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/httptune"
 	"repro/internal/profiling"
 	"repro/internal/promtext"
 )
@@ -137,7 +138,20 @@ func main() {
 		fail("invalid flags: n, c, d and seeds must be positive, rate non-negative")
 	}
 
-	client := &http.Client{Timeout: o.timeout}
+	// net/http's default transport keeps only 2 idle connections per host:
+	// a closed loop at -c 8 re-dials on most requests and measures
+	// connection churn, not the server. Size the idle pool to the run's
+	// worst-case concurrency — the worker count closed-loop, a generous
+	// fixed cap open-loop (where in-flight is bounded by rate × latency,
+	// not by -c).
+	idle := o.c
+	if o.rate > 0 && idle < 256 {
+		idle = 256
+	}
+	if idle < 64 {
+		idle = 64
+	}
+	client := httptune.Client(idle, o.timeout)
 	before, berr := scrapeMetrics(client, o.url)
 
 	var (
@@ -464,7 +478,6 @@ func delta(before, after map[string]float64, key string) (float64, bool) {
 	}
 	return d, true
 }
-
 
 // pct returns the q-quantile of sorted latencies (q=1 → max).
 func pct(sorted []time.Duration, q float64) time.Duration {

@@ -39,6 +39,7 @@ import (
 	"repro/internal/capserve"
 	"repro/internal/capsule"
 	"repro/internal/capsule/hotpath"
+	"repro/internal/httptune"
 )
 
 // caseResult is one benchmark's outcome.
@@ -51,17 +52,32 @@ type caseResult struct {
 
 // report is the BENCH_capsule.json schema.
 type report struct {
-	GeneratedBy string  `json:"generated_by"`
-	GoVersion   string  `json:"go_version"`
-	GOMAXPROCS  int     `json:"gomaxprocs"`
-	DurationS   float64 `json:"duration_s"`
+	GeneratedBy string `json:"generated_by"`
+	GoVersion   string `json:"go_version"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
 
-	// Results by hotpath case name ("atomic/..." is the live lock-free
-	// runtime, "mutex/..." the pre-rewrite baseline).
+	// Machine identity, so numbers from different runners are comparable:
+	// the OS-reported CPU model, the physical/logical core count the OS
+	// exposes, and the parallelism multipliers of the probe sweep.
+	CPUModel  string  `json:"cpu_model"`
+	NumCPU    int     `json:"num_cpu"`
+	Sweep     []int   `json:"gomaxprocs_sweep"`
+	DurationS float64 `json:"duration_s"`
+
+	// Results by hotpath case name ("atomic/..." is the live sharded
+	// lock-free runtime, "atomic1/..." the same runtime pinned to one
+	// pool shard — the PR-3 configuration — and "mutex/..." the
+	// pre-rewrite baseline).
 	Results map[string]caseResult `json:"results"`
 
 	// Speedups divide mutex ns/op by atomic ns/op for each shared path.
 	Speedups map[string]float64 `json:"speedups"`
+
+	// ShardSpeedups divide single-stack (atomic1) ns/op by sharded
+	// (atomic) ns/op: what per-P sharding itself buys on top of
+	// lock-freedom. ~1.0 on a single-core runner, where the sharded pool
+	// degenerates to one shard by construction.
+	ShardSpeedups map[string]float64 `json:"speedups_vs_single_stack"`
 
 	Storm   *stormResult   `json:"storm,omitempty"`
 	Serve   *serveResult   `json:"serve,omitempty"`
@@ -119,12 +135,17 @@ func main() {
 
 	start := time.Now()
 	r := report{
-		GeneratedBy: "cmd/capstress",
-		GoVersion:   runtime.Version(),
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
-		Results:     map[string]caseResult{},
-		Speedups:    map[string]float64{},
+		GeneratedBy:   "cmd/capstress",
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		CPUModel:      cpuModel(),
+		NumCPU:        runtime.NumCPU(),
+		Sweep:         hotpath.SweepMultipliers,
+		Results:       map[string]caseResult{},
+		Speedups:      map[string]float64{},
+		ShardSpeedups: map[string]float64{},
 	}
+	fmt.Printf("machine: %s, %d cpus, GOMAXPROCS %d, sweep %v\n", r.CPUModel, r.NumCPU, r.GOMAXPROCS, r.Sweep)
 
 	for _, c := range hotpath.Cases() {
 		res := testing.Benchmark(c.Bench)
@@ -139,11 +160,14 @@ func main() {
 	}
 	for name, atomicRes := range r.Results {
 		path, ok := strings.CutPrefix(name, "atomic/")
-		if !ok {
+		if !ok || atomicRes.NsPerOp <= 0 {
 			continue
 		}
-		if mutexRes, ok := r.Results["mutex/"+path]; ok && atomicRes.NsPerOp > 0 {
+		if mutexRes, ok := r.Results["mutex/"+path]; ok {
 			r.Speedups[path] = mutexRes.NsPerOp / atomicRes.NsPerOp
+		}
+		if singleRes, ok := r.Results["atomic1/"+path]; ok {
+			r.ShardSpeedups[path] = singleRes.NsPerOp / atomicRes.NsPerOp
 		}
 	}
 
@@ -240,7 +264,7 @@ func serveLoop(d time.Duration, n int) (*serveResult, error) {
 	if clients < 8 {
 		clients = 8
 	}
-	client := &http.Client{Timeout: 10 * time.Second}
+	client := httptune.Client(clients, 10*time.Second)
 	var requests, errors atomic.Int64
 	deadline := time.Now().Add(d)
 	start := time.Now()
@@ -341,7 +365,7 @@ func clusterLoop(d time.Duration, n int) (*clusterResult, error) {
 	defer ts.Close()
 
 	wls := []string{"quicksort", "quicksort", "lzw", "dijkstra"}
-	client := &http.Client{Timeout: 10 * time.Second}
+	client := httptune.Client(clients, 10*time.Second)
 	var requests, errors atomic.Int64
 	deadline := time.Now().Add(d)
 	halftime := time.AfterFunc(d/2, func() { backends[nBackends-1].Kill() })
@@ -389,6 +413,22 @@ func clusterLoop(d time.Duration, n int) (*clusterResult, error) {
 		BreakerDenies:   s.BreakerDenies,
 		DurationS:       elapsed.Seconds(),
 	}, nil
+}
+
+// cpuModel returns the OS-reported CPU model string, so BENCH numbers
+// carry their machine identity. Linux /proc/cpuinfo; falls back to the
+// architecture elsewhere.
+func cpuModel() string {
+	if data, err := os.ReadFile("/proc/cpuinfo"); err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			if rest, ok := strings.CutPrefix(line, "model name"); ok {
+				if _, v, ok := strings.Cut(rest, ":"); ok {
+					return strings.TrimSpace(v)
+				}
+			}
+		}
+	}
+	return runtime.GOOS + "/" + runtime.GOARCH
 }
 
 func fail(format string, args ...any) {

@@ -119,8 +119,11 @@ type Config struct {
 	// MaxBody caps buffered POST bodies. Default: DefaultMaxBody.
 	MaxBody int64
 
-	// Transport overrides the dispatch transport (tests). Default:
-	// http.DefaultTransport.
+	// Transport overrides the dispatch transport (tests). Default: a
+	// clone of http.DefaultTransport with the per-backend idle-connection
+	// pool widened (see defaultTransport in client.go) so sustained
+	// routing reuses connections instead of re-dialing through the
+	// default idle cap of 2.
 	Transport http.RoundTripper
 }
 
@@ -207,7 +210,7 @@ func New(cfg Config) (*Router, error) {
 	}
 	transport := cfg.Transport
 	if transport == nil {
-		transport = http.DefaultTransport
+		transport = defaultTransport(cfg.MaxCredits)
 	}
 	r := &Router{
 		cfg:    cfg,

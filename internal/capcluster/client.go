@@ -7,7 +7,30 @@ import (
 	"strconv"
 
 	"repro/internal/capserve"
+	"repro/internal/httptune"
 )
+
+// dispatchIdleConnsFloor is the minimum per-backend idle-connection
+// pool, for fleets configured with tiny credit ceilings.
+const dispatchIdleConnsFloor = 64
+
+// defaultTransport is the dispatch transport when Config.Transport is
+// nil: http.DefaultTransport's dialer and timeouts, with an idle pool
+// sized to the fleet's real concurrency bound. Every concurrently
+// admitted request holds one connection to its backend, and admissions
+// per backend are capped by the credit gauge — whose ceiling is
+// maxCredits — so an idle pool at least that wide means a release never
+// closes a connection the next dispatch burst will want (net/http's
+// default of 2 idle conns per host re-dials on nearly every dispatch,
+// measured as the server being slow when it is really the router
+// churning TCP).
+func defaultTransport(maxCredits int) http.RoundTripper {
+	perHost := maxCredits
+	if perHost < dispatchIdleConnsFloor {
+		perHost = dispatchIdleConnsFloor
+	}
+	return httptune.Transport(perHost)
+}
 
 // outcome classifies one remote dispatch attempt.
 type outcome int

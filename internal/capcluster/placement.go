@@ -45,7 +45,7 @@ func (LeastLoaded) Name() string { return "least-loaded" }
 // Ties go to the lowest index; a fleet with no headroom anywhere returns
 // 0 and lets the probes refuse.
 func (LeastLoaded) Pick(_ uint64, backends []*Backend) int {
-	best, bestFree := 0, int(-1) << 31
+	best, bestFree := 0, int(-1)<<31
 	for i, b := range backends {
 		g := b.gauge.Load()
 		free := int(uint32(g>>32)) - int(uint32(g))

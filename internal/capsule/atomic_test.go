@@ -15,23 +15,25 @@ import (
 // per-call closure.
 func nopFn() {}
 
-// TestTokenStackStorm hammers pop/push from many goroutines and then
-// checks conservation: every id still present exactly once.
+// TestTokenStackStorm hammers pop/push on a single-shard pool (the
+// PR-3 global Treiber stack configuration) from many goroutines and then
+// checks conservation: every id still present exactly once. The
+// multi-shard storms live in shard_test.go.
 func TestTokenStackStorm(t *testing.T) {
 	const n, stormers, rounds = 8, 16, 2000
-	var s tokenStack
-	s.init(n)
+	var s shardedPool
+	s.init(n, 1)
 	var outer sync.WaitGroup
 	for g := 0; g < stormers; g++ {
 		outer.Add(1)
 		go func() {
 			defer outer.Done()
 			for i := 0; i < rounds; i++ {
-				if id, ok := s.pop(); ok {
+				if id, ok := s.pop(0); ok {
 					if id < 0 || id >= n {
 						panic("id out of range")
 					}
-					s.push(id)
+					s.push(id, 0)
 				}
 			}
 		}()
@@ -42,7 +44,7 @@ func TestTokenStackStorm(t *testing.T) {
 	}
 	seen := map[int]bool{}
 	for i := 0; i < n; i++ {
-		id, ok := s.pop()
+		id, ok := s.pop(0)
 		if !ok {
 			t.Fatalf("stack lost ids: only %d of %d poppable", i, n)
 		}
@@ -51,7 +53,7 @@ func TestTokenStackStorm(t *testing.T) {
 		}
 		seen[id] = true
 	}
-	if _, ok := s.pop(); ok {
+	if _, ok := s.pop(0); ok {
 		t.Fatal("stack gained ids")
 	}
 }

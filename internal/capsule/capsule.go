@@ -8,14 +8,20 @@
 //   - hardware contexts     → a bounded pool of context tokens (default
 //     GOMAXPROCS), so a probe succeeds only when a "hardware context" is
 //     free — exactly the paper's resource-aware division condition. Each
-//     token owns a persistent parked goroutine; a granted division is a
-//     mailbox send to it, not a fresh goroutine spawn;
+//     token owns a persistent goroutine; a granted division hands work
+//     to it through a spin-then-park slot (one store + one CAS while the
+//     worker spins, a mailbox send once it parked), not a fresh
+//     goroutine spawn;
 //   - nthr (probe+divide)   → Probe/Spawn, or the fused Divide/TryDivide.
 //     The paper's point that the SOMT answers nthr "in a few cycles" is
 //     preserved in software: the whole probe path is a handful of atomic
-//     loads and one CAS on a Treiber stack of context ids — no mutex, no
-//     allocation — so offering parallelism at every division point stays
-//     cheap even under heavy contention;
+//     loads and one CAS on a per-goroutine shard of a sharded Treiber
+//     stack of context ids — no mutex, no allocation, and (like the
+//     hardware's per-context resource check) no word shared by every
+//     prober — so offering parallelism at every division point stays
+//     cheap even under heavy contention. A probe that misses its home
+//     shard steals from the others in ring order and refuses only after
+//     inspecting all of them;
 //   - kthr (worker death)   → token release when the worker function
 //     returns, recorded in the death-rate window;
 //   - division throttling   → a rolling window of recent worker deaths;
@@ -23,7 +29,8 @@
 //     probes are denied (Section 3.1's death-rate throttle). The window
 //     is a fixed atomic ring of death timestamps, read with one load;
 //   - LIFO context stack    → freed tokens are reused most-recently-dead
-//     first, keeping the working set on warm stacks/caches;
+//     first within each pool shard, keeping the working set on warm
+//     stacks/caches (strict whole-pool LIFO when PoolShards is 1);
 //   - fast lock table       → a striped lock table keyed by arbitrary
 //     64-bit addresses (Lock/Unlock), mirroring mlock/munlock.
 //
@@ -50,6 +57,16 @@ type Config struct {
 	// Contexts is the context-token pool size — the software analogue of
 	// the SOMT's hardware context count. Default: runtime.GOMAXPROCS(0).
 	Contexts int
+
+	// PoolShards is the number of cache-line-padded sub-stacks the free
+	// token pool (and the hot Stats counters) are sharded over. Probe pops
+	// from a per-goroutine home shard and steals from the others in ring
+	// order only on a local miss, so the shard count trades single-shard
+	// LIFO warmth for contention-free parallel probing. Default (0):
+	// min(GOMAXPROCS, Contexts). 1 reproduces the single global Treiber
+	// stack (strict whole-pool LIFO, every prober on one CAS word); values
+	// above Contexts are clamped to Contexts.
+	PoolShards int
 
 	// Throttle enables death-rate division throttling. Defaulted on by
 	// NewDefault; New leaves the zero value (off) untouched so ablations
@@ -88,6 +105,9 @@ func Defaults() Config {
 func (c Config) Validate() error {
 	if c.Contexts < 0 {
 		return fmt.Errorf("capsule: Contexts must be >= 0 (0 means GOMAXPROCS), got %d", c.Contexts)
+	}
+	if c.PoolShards < 0 {
+		return fmt.Errorf("capsule: PoolShards must be >= 0 (0 means min(GOMAXPROCS, Contexts)), got %d", c.PoolShards)
 	}
 	if c.DeathWindow < 0 {
 		return fmt.Errorf("capsule: DeathWindow must be >= 0 (0 means 100µs default), got %v", c.DeathWindow)
@@ -170,36 +190,38 @@ func (c *Context) ID() int { return c.id }
 // Runtime is one capsule execution domain: a context pool, a death window,
 // a lock table and a join group. A Runtime is safe for concurrent use by
 // any number of workers. Probe, TryDivide refusal and Release are
-// lock-free and allocation-free; a granted Spawn is a mailbox send to the
-// token's persistent worker. A Runtime that should release its parked
-// worker goroutines is shut down with Close; one that lives as long as
-// the process (the common case) need not bother.
+// lock-free and allocation-free; a granted Spawn is a spin-then-park
+// handoff to the token's persistent worker (slot store + CAS on the fast
+// path, mailbox send to a parked worker). A Runtime that should release
+// its worker goroutines is shut down with Close; one that lives as long
+// as the process (the common case) need not bother.
 type Runtime struct {
-	cfg Config
+	cfg     Config
+	nshards int // pool and stat shard count: min(GOMAXPROCS, Contexts) by default
 
-	pool tokenStack // lock-free LIFO of free context ids
-	ctxs []Context  // preallocated tokens, one per id: Probe allocates nothing
-	ring deathRing  // death timestamps for the throttle
+	pool shardedPool // lock-free per-shard LIFOs of free context ids
+	ctxs []Context   // preallocated tokens, one per id: Probe allocates nothing
+	ring deathRing   // death timestamps for the throttle
 
-	workers   []chan job // one single-slot mailbox per context id
+	workers   []chan job    // per-context park mailbox (the handoff slow path)
+	wstate    []workerState // per-context spin-then-park handoff slot
 	workerWG  sync.WaitGroup
 	closed    atomic.Bool
 	closeOnce sync.Once
 	closedCh  chan struct{}
 
+	// Hot counters, sharded like the pool so Probe on one core never
+	// false-shares a counter line with Release on another; Stats()
+	// aggregates the blocks on read.
+	//
 	// Counter discipline (the Stats no-tear invariant): Probe bumps its
 	// outcome counter (granted / noCtxDenies / throttleDenies) BEFORE
-	// probes, and Stats loads probes before the outcome counters, so every
-	// snapshot satisfies Probes <= Granted + NoCtxDenies + ThrottleDenies,
-	// with equality at quiescence.
-	probes         atomic.Uint64
-	granted        atomic.Uint64
-	noCtxDenies    atomic.Uint64
-	throttleDenies atomic.Uint64
-	inlineRuns     atomic.Uint64
-	deathCount     atomic.Uint64
-	totalWorkers   atomic.Uint64
-	lockAcquires   atomic.Uint64
+	// probes in the SAME shard block, and Stats loads every shard's probes
+	// before any shard's outcome counters — so each shard contributes no
+	// more probes than outcomes to the snapshot, and every snapshot
+	// satisfies Probes <= Granted + NoCtxDenies + ThrottleDenies, with
+	// equality at quiescence.
+	stats []statShard
 
 	live atomic.Int64
 	peak atomic.Int64
@@ -236,19 +258,28 @@ func New(cfg Config) *Runtime {
 	if cfg.LockStripes <= 0 {
 		cfg.LockStripes = 256
 	}
+	if cfg.PoolShards <= 0 {
+		cfg.PoolShards = poolShards(cfg.Contexts)
+	}
+	if cfg.PoolShards > cfg.Contexts {
+		cfg.PoolShards = cfg.Contexts
+	}
 	stripes := 1
 	for stripes < cfg.LockStripes {
 		stripes <<= 1
 	}
 	rt := &Runtime{
 		cfg:      cfg,
+		nshards:  cfg.PoolShards,
 		workers:  make([]chan job, cfg.Contexts),
+		wstate:   make([]workerState, cfg.Contexts),
+		stats:    make([]statShard, cfg.PoolShards),
 		closedCh: make(chan struct{}),
 		stripes:  make([]sync.Mutex, stripes),
 		lockMask: uint64(stripes - 1),
 		now:      func() int64 { return time.Now().UnixNano() },
 	}
-	rt.pool.init(cfg.Contexts)
+	rt.pool.init(cfg.Contexts, cfg.PoolShards)
 	rt.ring.init(cfg.DeathThreshold)
 	rt.ctxs = make([]Context, cfg.Contexts)
 	rt.workerWG.Add(cfg.Contexts)
@@ -279,7 +310,7 @@ func (rt *Runtime) Contexts() int { return rt.cfg.Contexts }
 // It is a point-in-time observation, not a reservation — a caller that
 // needs the token must Probe — and it does not count as a probe, so
 // admission-style peeks (is any parallelism even available?) don't
-// distort the division grant rate. It is a single atomic load.
+// distort the division grant rate. It is one atomic load per pool shard.
 func (rt *Runtime) FreeContexts() int { return rt.pool.free() }
 
 // CanDivide reports whether a probe made now would succeed: the runtime
@@ -322,34 +353,38 @@ func (rt *Runtime) throttled() bool {
 // snapshot (absent a concurrent ResetStats, which trades that guarantee
 // away; see its doc).
 func (rt *Runtime) Probe() (*Context, bool) {
+	h := affinityHint(rt.nshards)
+	st := &rt.stats[h]
 	if rt.closed.Load() {
 		// A closed runtime grants nothing; the pool is (being) drained, so
 		// "no context" is the literal refusal reason.
-		rt.noCtxDenies.Add(1)
-		rt.probes.Add(1)
+		st.noCtxDenies.Add(1)
+		st.probes.Add(1)
 		return nil, false
 	}
 	if rt.throttled() {
-		rt.throttleDenies.Add(1)
-		rt.probes.Add(1)
+		st.throttleDenies.Add(1)
+		st.probes.Add(1)
 		return nil, false
 	}
-	id, ok := rt.pool.pop()
+	id, ok := rt.pool.pop(h)
 	if !ok {
-		rt.noCtxDenies.Add(1)
-		rt.probes.Add(1)
+		st.noCtxDenies.Add(1)
+		st.probes.Add(1)
 		return nil, false
 	}
-	rt.granted.Add(1)
-	rt.probes.Add(1)
+	st.granted.Add(1)
+	st.probes.Add(1)
 	return &rt.ctxs[id], true
 }
 
 // Spawn consumes a reserved token and hands fn to the token's persistent
-// worker. The worker's return is the kthr: the token goes back on the
-// LIFO stack and the death is recorded for the throttle. The hand-off is
-// one non-blocking channel send — no goroutine spawn, no allocation
-// beyond fn's own closure.
+// worker. The worker's return is the kthr: the token goes back on its
+// shard's LIFO stack and the death is recorded for the throttle. The
+// hand-off is non-blocking by construction — a slot store + CAS when the
+// worker is still spinning after its last job, a buffered channel send
+// once it parked; either way no goroutine spawn and no allocation beyond
+// fn's own closure (see worker.go).
 func (rt *Runtime) Spawn(c *Context, fn func()) { rt.spawnOn(c, fn, nil) }
 
 // spawnOn is Spawn with an optional extra join group: when g is non-nil
@@ -364,7 +399,7 @@ func (rt *Runtime) spawnOn(c *Context, fn func(), g *sync.WaitGroup) {
 	if fn == nil {
 		panic("capsule: Spawn with nil fn")
 	}
-	rt.totalWorkers.Add(1)
+	rt.stat().totalWorkers.Add(1)
 	live := rt.live.Add(1)
 	for {
 		p := rt.peak.Load()
@@ -376,8 +411,12 @@ func (rt *Runtime) spawnOn(c *Context, fn func(), g *sync.WaitGroup) {
 	if g != nil {
 		g.Add(1)
 	}
-	rt.workers[c.id] <- job{fn: fn, g: g}
+	rt.sendJob(c.id, job{fn: fn, g: g})
 }
+
+// stat returns the calling goroutine's home counter block — the same
+// shard pick Probe uses for the pool.
+func (rt *Runtime) stat() *statShard { return &rt.stats[affinityHint(rt.nshards)] }
 
 // Release returns an unused token to the pool without running anything
 // (a probe the caller decided not to act on). It does not count as a
@@ -386,19 +425,23 @@ func (rt *Runtime) Release(c *Context) {
 	if c == nil || c.rt != rt {
 		panic("capsule: Release with foreign or nil context")
 	}
-	rt.pool.push(c.id)
+	rt.pool.push(c.id, affinityHint(rt.nshards))
 }
 
 // release is the kthr path: the worker died, its context is free again.
 // The death is recorded before the token is pushed, so a probe that wins
-// the recycled token observes the throttle state its death produced.
+// the recycled token observes the throttle state its death produced. The
+// token lands on the worker goroutine's own home shard — persistent
+// workers have stable stacks, so a context that keeps dying on one core
+// keeps being re-granted from that core's shard.
 func (rt *Runtime) release(id int) {
+	h := affinityHint(rt.nshards)
 	rt.live.Add(-1)
-	rt.deathCount.Add(1)
+	rt.stats[h].deaths.Add(1)
 	if rt.cfg.Throttle {
 		rt.ring.record(rt.now())
 	}
-	rt.pool.push(id)
+	rt.pool.push(id, h)
 	rt.wg.Done()
 }
 
@@ -424,7 +467,7 @@ func (rt *Runtime) Divide(fn func()) bool {
 	if rt.TryDivide(fn) {
 		return true
 	}
-	rt.inlineRuns.Add(1)
+	rt.stat().inlineRuns.Add(1)
 	fn()
 	return false
 }
@@ -440,7 +483,7 @@ func (rt *Runtime) Join() { rt.wg.Wait() }
 // entry — coarser, never incorrect, exactly like the bounded hardware
 // table.
 func (rt *Runtime) Lock(key uint64) {
-	rt.lockAcquires.Add(1)
+	rt.stat().lockAcquires.Add(1)
 	rt.stripes[mix(key)&rt.lockMask].Lock()
 }
 
@@ -460,24 +503,31 @@ func mix(x uint64) uint64 {
 	return x
 }
 
-// Stats snapshots the counters. Snapshots are tear-free in the accounting
-// direction: probes is loaded before the outcome counters (and Probe
-// bumps them in the opposite order), so Probes <= Granted + NoCtxDenies +
-// ThrottleDenies in every snapshot, with equality once probers quiesce
-// (ResetStats racing live probers is the one documented exception).
+// Stats snapshots the counters, aggregating the per-shard blocks.
+// Snapshots are tear-free in the accounting direction: every shard's
+// probes counter is loaded before any shard's outcome counters (and
+// Probe bumps its outcome before its probes, both in one shard block),
+// so each shard contributes no more probes than outcomes and Probes <=
+// Granted + NoCtxDenies + ThrottleDenies in every snapshot, with
+// equality once probers quiesce (ResetStats racing live probers is the
+// one documented exception).
 func (rt *Runtime) Stats() Stats {
-	probes := rt.probes.Load() // first: see the invariant note above
-	return Stats{
-		Probes:         probes,
-		Granted:        rt.granted.Load(),
-		NoCtxDenies:    rt.noCtxDenies.Load(),
-		ThrottleDenies: rt.throttleDenies.Load(),
-		InlineRuns:     rt.inlineRuns.Load(),
-		Deaths:         rt.deathCount.Load(),
-		TotalWorkers:   rt.totalWorkers.Load(),
-		PeakWorkers:    int(rt.peak.Load()),
-		LockAcquires:   rt.lockAcquires.Load(),
+	var s Stats
+	for i := range rt.stats {
+		s.Probes += rt.stats[i].probes.Load() // first pass: see the invariant note above
 	}
+	for i := range rt.stats {
+		st := &rt.stats[i]
+		s.Granted += st.granted.Load()
+		s.NoCtxDenies += st.noCtxDenies.Load()
+		s.ThrottleDenies += st.throttleDenies.Load()
+		s.InlineRuns += st.inlineRuns.Load()
+		s.Deaths += st.deaths.Load()
+		s.TotalWorkers += st.totalWorkers.Load()
+		s.LockAcquires += st.lockAcquires.Load()
+	}
+	s.PeakWorkers = int(rt.peak.Load())
+	return s
 }
 
 // ResetStats zeroes the counters (the context pool and death window are
@@ -488,13 +538,16 @@ func (rt *Runtime) Stats() Stats {
 // leave the totals off by one either way. Concurrent observers should
 // use Stats().Delta snapshots instead of resetting (see Stats.Delta).
 func (rt *Runtime) ResetStats() {
-	rt.probes.Store(0)
-	rt.granted.Store(0)
-	rt.noCtxDenies.Store(0)
-	rt.throttleDenies.Store(0)
-	rt.inlineRuns.Store(0)
-	rt.deathCount.Store(0)
-	rt.totalWorkers.Store(0)
+	for i := range rt.stats {
+		st := &rt.stats[i]
+		st.probes.Store(0)
+		st.granted.Store(0)
+		st.noCtxDenies.Store(0)
+		st.throttleDenies.Store(0)
+		st.inlineRuns.Store(0)
+		st.deaths.Store(0)
+		st.totalWorkers.Store(0)
+		st.lockAcquires.Store(0)
+	}
 	rt.peak.Store(rt.live.Load())
-	rt.lockAcquires.Store(0)
 }

@@ -98,7 +98,7 @@ func (g *Group) Divide(fn func()) bool {
 		return true
 	}
 	g.inline.Add(1)
-	g.rt.inlineRuns.Add(1)
+	g.rt.stat().inlineRuns.Add(1)
 	fn()
 	return false
 }

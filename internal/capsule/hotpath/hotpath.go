@@ -1,22 +1,27 @@
 // Package hotpath is the probe/divide contention benchmark suite, run
-// against two pool implementations side by side:
+// against three pool implementations side by side:
 //
-//   - atomic: the live lock-free runtime (internal/capsule) — Treiber
-//     token stack, atomic death ring, parked persistent workers;
+//   - atomic: the live lock-free runtime (internal/capsule) — sharded
+//     Treiber token stacks with ring-order stealing, padded per-shard
+//     stats, atomic death ring, spin-then-park persistent workers;
+//   - atomic1: the same runtime forced to PoolShards=1 — the PR-3
+//     single global Treiber stack, so the report shows what sharding
+//     itself buys on top of lock-freedom;
 //   - mutex: the retained pre-rewrite pool (internal/capsule/baseline) —
 //     global mutex LIFO, slice-pruned death window, goroutine-per-spawn.
 //
-// The cases cover the grant and refusal paths at 1, GOMAXPROCS and
-// 4×GOMAXPROCS probers, plus the fused divide with worker hand-off. The
-// same bodies back both `go test -bench` (hotpath_test.go wrappers, run
-// under -race in CI) and cmd/capstress, which runs them via
-// testing.Benchmark and records ns/op and allocs/op in
-// BENCH_capsule.json — so the speedup the rewrite bought is re-measured,
-// not remembered.
+// The cases cover the grant and refusal paths serially and across the
+// SweepMultipliers GOMAXPROCS sweep (1×, 4× and 16× GOMAXPROCS probers),
+// plus the fused divide with worker hand-off. The same bodies back both
+// `go test -bench` (hotpath_test.go wrappers, run under -race in CI) and
+// cmd/capstress, which runs them via testing.Benchmark and records ns/op
+// and allocs/op in BENCH_capsule.json — so the speedup the rewrite
+// bought is re-measured, not remembered.
 package hotpath
 
 import (
 	"runtime"
+	"strconv"
 	"testing"
 	"time"
 
@@ -31,26 +36,42 @@ type Case struct {
 	Bench func(b *testing.B)
 }
 
+// SweepMultipliers is the GOMAXPROCS sweep: the parallel probe-granted
+// cases run at each multiplier × GOMAXPROCS concurrent probers, for all
+// three implementations. capstress records it in BENCH_capsule.json so
+// numbers from different machines are comparable.
+var SweepMultipliers = []int{1, 4, 16}
+
 // Cases returns the full suite. Names are impl/path[_probers]: the
-// "atomic/" and "mutex/" halves are exact mirrors, so any pair divides
-// into a speedup.
+// "atomic/", "atomic1/" and "mutex/" families are exact mirrors on the
+// shared paths, so any pair divides into a speedup. The "atomic/..."
+// keys are the live runtime's tracked trajectory (stable across PRs for
+// the CI regression gate); "atomic1/..." is the same runtime pinned to
+// the PR-3 single-stack configuration.
 func Cases() []Case {
-	return []Case{
-		{"atomic/probe_granted_serial", atomicProbeGranted(0)},
-		{"atomic/probe_granted_parallel_1x", atomicProbeGranted(1)},
-		{"atomic/probe_granted_parallel_4x", atomicProbeGranted(4)},
-		{"atomic/probe_refused_serial", atomicProbeRefused(0)},
-		{"atomic/probe_refused_parallel_4x", atomicProbeRefused(4)},
-		{"atomic/try_divide_refused", atomicTryDivideRefused},
-		{"atomic/divide_granted", atomicDivideGranted},
+	cases := []Case{
+		{"atomic/probe_granted_serial", atomicProbeGranted(0, 0)},
+		{"atomic1/probe_granted_serial", atomicProbeGranted(0, 1)},
 		{"mutex/probe_granted_serial", mutexProbeGranted(0)},
-		{"mutex/probe_granted_parallel_1x", mutexProbeGranted(1)},
-		{"mutex/probe_granted_parallel_4x", mutexProbeGranted(4)},
-		{"mutex/probe_refused_serial", mutexProbeRefused(0)},
-		{"mutex/probe_refused_parallel_4x", mutexProbeRefused(4)},
-		{"mutex/try_divide_refused", mutexTryDivideRefused},
-		{"mutex/divide_granted", mutexDivideGranted},
 	}
+	for _, m := range SweepMultipliers {
+		suffix := "_parallel_" + strconv.Itoa(m) + "x"
+		cases = append(cases,
+			Case{"atomic/probe_granted" + suffix, atomicProbeGranted(m, 0)},
+			Case{"atomic1/probe_granted" + suffix, atomicProbeGranted(m, 1)},
+			Case{"mutex/probe_granted" + suffix, mutexProbeGranted(m)},
+		)
+	}
+	return append(cases,
+		Case{"atomic/probe_refused_serial", atomicProbeRefused(0)},
+		Case{"atomic/probe_refused_parallel_4x", atomicProbeRefused(4)},
+		Case{"atomic/try_divide_refused", atomicTryDivideRefused},
+		Case{"atomic/divide_granted", atomicDivideGranted},
+		Case{"mutex/probe_refused_serial", mutexProbeRefused(0)},
+		Case{"mutex/probe_refused_parallel_4x", mutexProbeRefused(4)},
+		Case{"mutex/try_divide_refused", mutexTryDivideRefused},
+		Case{"mutex/divide_granted", mutexDivideGranted},
+	)
 }
 
 // Find returns the named case for a go test wrapper.
@@ -94,9 +115,13 @@ func divideContexts() int {
 
 // ---- atomic: the live lock-free runtime ----
 
-func atomicProbeGranted(par int) func(b *testing.B) {
+// atomicProbeGranted builds the granted-probe case at par×GOMAXPROCS
+// probers (0 = serial) on a pool of one context per prober. shards pins
+// Config.PoolShards: 0 is the live sharded default, 1 reproduces the
+// PR-3 single global stack.
+func atomicProbeGranted(par, shards int) func(b *testing.B) {
 	return func(b *testing.B) {
-		rt := capsule.New(capsule.Config{Contexts: probers(par), Throttle: true, DeathWindow: benchWindow})
+		rt := capsule.New(capsule.Config{Contexts: probers(par), PoolShards: shards, Throttle: true, DeathWindow: benchWindow})
 		defer rt.Close()
 		b.ReportAllocs()
 		b.ResetTimer()

@@ -27,10 +27,25 @@ func bench(b *testing.B, name string) {
 func BenchmarkProbeGrantedSerial(b *testing.B)     { bench(b, "atomic/probe_granted_serial") }
 func BenchmarkProbeGrantedParallel(b *testing.B)   { bench(b, "atomic/probe_granted_parallel_1x") }
 func BenchmarkProbeGrantedParallel4x(b *testing.B) { bench(b, "atomic/probe_granted_parallel_4x") }
+func BenchmarkProbeGrantedParallel16x(b *testing.B) {
+	bench(b, "atomic/probe_granted_parallel_16x")
+}
 func BenchmarkProbeRefusedSerial(b *testing.B)     { bench(b, "atomic/probe_refused_serial") }
 func BenchmarkProbeRefusedParallel4x(b *testing.B) { bench(b, "atomic/probe_refused_parallel_4x") }
 func BenchmarkTryDivideRefused(b *testing.B)       { bench(b, "atomic/try_divide_refused") }
 func BenchmarkDivideGranted(b *testing.B)          { bench(b, "atomic/divide_granted") }
+
+// The atomic1 side: the live runtime pinned to PoolShards=1, i.e. the
+// PR-3 single global Treiber stack — what sharding is measured against.
+func BenchmarkSingleStackProbeGrantedSerial(b *testing.B) {
+	bench(b, "atomic1/probe_granted_serial")
+}
+func BenchmarkSingleStackProbeGrantedParallel4x(b *testing.B) {
+	bench(b, "atomic1/probe_granted_parallel_4x")
+}
+func BenchmarkSingleStackProbeGrantedParallel16x(b *testing.B) {
+	bench(b, "atomic1/probe_granted_parallel_16x")
+}
 
 // The mutex baseline side (internal/capsule/baseline).
 func BenchmarkMutexProbeGrantedSerial(b *testing.B) { bench(b, "mutex/probe_granted_serial") }
@@ -39,6 +54,9 @@ func BenchmarkMutexProbeGrantedParallel(b *testing.B) {
 }
 func BenchmarkMutexProbeGrantedParallel4x(b *testing.B) {
 	bench(b, "mutex/probe_granted_parallel_4x")
+}
+func BenchmarkMutexProbeGrantedParallel16x(b *testing.B) {
+	bench(b, "mutex/probe_granted_parallel_16x")
 }
 func BenchmarkMutexProbeRefusedSerial(b *testing.B) { bench(b, "mutex/probe_refused_serial") }
 func BenchmarkMutexProbeRefusedParallel4x(b *testing.B) {
