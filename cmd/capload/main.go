@@ -29,6 +29,15 @@
 //	capload -url http://localhost:8090 -d 10s -mix quicksort=4,dijkstra=2,lzw=1
 //	capload -d 5s -c 8 -min-throughput 200   # CI smoke: exit 2 below 200 req/s
 //	capload -url http://localhost:8090 -d 5s -max-fallback-rate 0.5 -min-backends-hit 3
+//
+// With -trace N, every Nth request carries a fresh X-Capsule-Trace-ID,
+// and after the run capload pulls the target's /debug/trace snapshot and
+// prints the p99-latency exemplar's event waterfall — the slowest-1%
+// request's actual journey through admission, division and (via a
+// router) dispatch. An empty waterfall exits 2: the header made the
+// round trip but no events landed, so tracing is broken end to end.
+//
+//	capload -url http://localhost:8080 -d 5s -trace 16
 package main
 
 import (
@@ -44,6 +53,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/captrace"
 	"repro/internal/httptune"
 	"repro/internal/profiling"
 	"repro/internal/promtext"
@@ -64,6 +74,7 @@ type options struct {
 	maxFallback float64
 	minBackends int
 	jsonOut     bool
+	traceEvery  int
 }
 
 // result is one request's outcome.
@@ -99,6 +110,7 @@ func main() {
 	flag.Float64Var(&o.maxFallback, "max-fallback-rate", -1, "router-aware: exit 2 if the run's local-fallback rate exceeds this (negative = no gate)")
 	flag.IntVar(&o.minBackends, "min-backends-hit", 0, "router-aware: exit 2 if fewer backends received a dispatch during the run")
 	flag.BoolVar(&o.jsonOut, "json", false, "emit a machine-readable JSON report")
+	flag.IntVar(&o.traceEvery, "trace", 0, "stamp a trace ID on every Nth request and print the p99 exemplar's waterfall from /debug/trace (0 = off)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the load generator to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
@@ -154,9 +166,19 @@ func main() {
 	client := httptune.Client(idle, o.timeout)
 	before, berr := scrapeMetrics(client, o.url)
 
+	// tracedReq is one request capload chose to trace: its stamped ID
+	// and client-observed outcome, the pool the p99 exemplar is drawn
+	// from after the run.
+	type tracedReq struct {
+		id      uint64
+		wl      string
+		code    int
+		latency time.Duration
+	}
 	var (
 		mu       sync.Mutex
 		results  []result
+		traced   []tracedReq
 		checks   = map[string]uint64{}
 		mismatch int
 	)
@@ -169,8 +191,18 @@ func main() {
 		wl := o.wls[int(i)%len(o.wls)]
 		seed := o.seed + i%o.seeds
 		url := fmt.Sprintf("%s/run/%s?n=%d&seed=%d", o.url, wl, o.n, seed)
+		var tid uint64
+		req, rerr := http.NewRequest(http.MethodGet, url, nil)
+		if rerr != nil {
+			record(result{0, 0})
+			return
+		}
+		if o.traceEvery > 0 && i%int64(o.traceEvery) == 0 {
+			tid = captrace.NewID()
+			req.Header.Set(captrace.HeaderTraceID, captrace.FormatID(tid))
+		}
 		start := time.Now()
-		resp, err := client.Get(url)
+		resp, err := client.Do(req)
 		lat := time.Since(start)
 		if err != nil {
 			record(result{0, lat})
@@ -179,6 +211,11 @@ func main() {
 		body, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		record(result{resp.StatusCode, lat})
+		if tid != 0 {
+			mu.Lock()
+			traced = append(traced, tracedReq{tid, wl, resp.StatusCode, lat})
+			mu.Unlock()
+		}
 		if o.verify && resp.StatusCode == http.StatusOK {
 			var rr runResponse
 			if json.Unmarshal(body, &rr) == nil {
@@ -295,6 +332,55 @@ func main() {
 		report["router_backends_hit"] = backendsHit
 	}
 
+	// Trace exemplar: pick the p99-latency traced request and pull its
+	// event waterfall from the target's /debug/trace — the slowest-1%
+	// request's actual lifecycle, not an average.
+	var waterfall []captrace.Event
+	var exemplar uint64
+	var exemplarLat time.Duration
+	if o.traceEvery > 0 {
+		var ok2 []tracedReq
+		for _, tr := range traced {
+			if tr.code >= 200 && tr.code < 300 {
+				ok2 = append(ok2, tr)
+			}
+		}
+		if len(ok2) == 0 {
+			flushProfiles()
+			fail("-trace %d set but no traced request succeeded", o.traceEvery)
+		}
+		byLat := append([]tracedReq(nil), ok2...)
+		sort.Slice(byLat, func(i, j int) bool { return byLat[i].latency < byLat[j].latency })
+		pick := byLat[int(0.99*float64(len(byLat)-1))]
+		snaps, terr := fetchTrace(client, o.url)
+		if terr != nil {
+			flushProfiles()
+			fail("-trace: fetching /debug/trace: %v (tracing not armed on the target?)", terr)
+		}
+		waterfall = eventsFor(snaps, pick.id)
+		if tierSpan(waterfall) < tierFull {
+			// The p99 exemplar may predate the rings' retention: one
+			// traced request records an event per division point, so a
+			// few thousand offered divisions wrap a default-sized ring
+			// in milliseconds. Walk back from the most recently traced
+			// success — the freshest possible — looking for the most
+			// complete waterfall still resident: all three tiers if any
+			// request's span survived whole, else serving-tier, else any
+			// events at all. If every ID comes back empty, tracing is
+			// broken end to end — the gate below exits 2.
+			best := tierSpan(waterfall)
+			for i := len(ok2) - 1; i >= 0 && best < tierFull; i-- {
+				if evs := eventsFor(snaps, ok2[i].id); tierSpan(evs) > best {
+					pick, waterfall, best = ok2[i], evs, tierSpan(evs)
+				}
+			}
+		}
+		exemplar, exemplarLat = pick.id, pick.latency
+		report["trace_id"] = captrace.FormatID(exemplar)
+		report["trace_event_count"] = len(waterfall)
+		report["trace_waterfall"] = waterfall
+	}
+
 	if o.jsonOut {
 		json.NewEncoder(os.Stdout).Encode(report)
 	} else {
@@ -321,6 +407,23 @@ func main() {
 				line += fmt.Sprintf(" backends-hit=%d", backendsHit)
 			}
 			fmt.Println(line)
+		}
+		if o.traceEvery > 0 {
+			fmt.Printf("trace exemplar %s (client latency %.2fms):\n", captrace.FormatID(exemplar), ms(exemplarLat))
+			if len(waterfall) == 0 {
+				fmt.Println("  (no events — tracing broken end to end)")
+			}
+			t0 := int64(0)
+			if len(waterfall) > 0 {
+				t0 = waterfall[0].TS
+			}
+			for _, ev := range waterfall {
+				src := ev.Source
+				if src == "" {
+					src = "-"
+				}
+				fmt.Printf("  +%9.1fµs %-16s %-14s %s\n", float64(ev.TS-t0)/1e3, src, ev.Kind, ev.Detail())
+			}
 		}
 		if mismatch > 0 {
 			fmt.Printf("VERIFY FAILED: %d checksum mismatches\n", mismatch)
@@ -368,6 +471,73 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	if o.traceEvery > 0 && len(waterfall) == 0 {
+		// The IDs round-tripped (the requests succeeded) but no events
+		// landed under them: the trace pipeline is broken somewhere
+		// between header adoption and the rings.
+		flushProfiles()
+		fmt.Fprintf(os.Stderr, "capload: empty waterfall for every traced request\n")
+		os.Exit(2)
+	}
+}
+
+// fetchTrace pulls the target's /debug/trace body: one snapshot from a
+// capserve, or the full array a router with spawned backends serves —
+// so the exemplar waterfall spans all three tiers through one URL.
+func fetchTrace(client *http.Client, base string) ([]captrace.Snapshot, error) {
+	resp, err := client.Get(base + "/debug/trace")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/debug/trace returned %d", resp.StatusCode)
+	}
+	return captrace.DecodeSnapshots(resp.Body)
+}
+
+// tierSpan scores how much of the degradation ladder a waterfall still
+// covers: 0 = nothing resident, 1 = some events, 2 = reached the
+// serving tier (an admission/shed/done event), 3 = tierFull — serving
+// tier plus runtime shard events (a granted request's probe/handoff/
+// death, or a refused division's deny/inline). Route spans alone score
+// 1: the downstream half was already overwritten.
+const tierFull = 3
+
+func tierSpan(evs []captrace.Event) int {
+	if len(evs) == 0 {
+		return 0
+	}
+	score := 1
+	serving, runtime := false, false
+	for _, ev := range evs {
+		switch ev.Kind {
+		case captrace.KReqAdmit, captrace.KReqShed, captrace.KReqDegraded, captrace.KReqDone:
+			serving = true
+		case captrace.KProbeGranted, captrace.KProbeDenied, captrace.KDivideInline,
+			captrace.KHandoff, captrace.KDeath:
+			runtime = true
+		}
+	}
+	if serving {
+		score = 2
+		if runtime {
+			score = tierFull
+		}
+	}
+	return score
+}
+
+// eventsFor filters the merged snapshots down to one trace ID's
+// time-ordered timeline.
+func eventsFor(snaps []captrace.Snapshot, tid uint64) []captrace.Event {
+	var evs []captrace.Event
+	for _, ev := range captrace.MergeEvents(snaps...) {
+		if ev.TID == tid {
+			evs = append(evs, ev)
+		}
+	}
+	return evs
 }
 
 // parseMix expands "quicksort=4,dijkstra=2,lzw=1" into a weighted

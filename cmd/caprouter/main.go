@@ -15,6 +15,8 @@
 //	caprouter -addr :8090 -backends http://10.0.0.1:8080,http://10.0.0.2:8080
 //	caprouter -addr :8090 -spawn 3 -spawn-contexts 2 -policy rendezvous
 //	caprouter -addr :8090 -spawn 2 -credits 8 -fail-threshold 3 -fail-window 2s
+//	caprouter -addr :8090 -spawn 2 -trace          # route spans on /debug/trace
+//	caprouter -addr :8090 -debug-addr localhost:6061
 //
 // Shutdown is graceful: SIGINT/SIGTERM flips /healthz to 503 first, then
 // stops the listener, finishes in-flight requests (up to -drain), drains
@@ -28,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // registers on DefaultServeMux, served only on -debug-addr
 	"os"
 	"os/signal"
 	"strings"
@@ -37,6 +40,7 @@ import (
 	"repro/internal/capcluster"
 	"repro/internal/capserve"
 	"repro/internal/capsule"
+	"repro/internal/captrace"
 )
 
 func main() {
@@ -55,7 +59,23 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-dispatch timeout (0 = default)")
 	refresh := flag.Duration("refresh", time.Second, "credit refresh interval (scrapes backend /metrics; 0 disables)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
+	trace := flag.Bool("trace", false, "record route spans (and spawned backends' lifecycles), served on /debug/trace")
+	traceBuf := flag.Int("trace-buf", 0, "trace ring slots per shard (0 = default)")
+	traceSample := flag.Int("trace-sample", 0, "trace 1 in N router-minted request IDs (0 = default)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = off)")
 	flag.Parse()
+
+	// One tracer serves the router span AND the local fallback tier, so
+	// a degraded request's route events and its local runtime events
+	// land in one ring set. Each spawned backend gets its own tracer,
+	// distinguished by source name ("backend-N") — its rings are served
+	// both at its own URL and, merged via TraceLocals, from the
+	// router's /debug/trace, since only the router knows where an
+	// ephemeral spawned backend lives.
+	var tracer *captrace.Tracer
+	if *trace {
+		tracer = captrace.New(0, *traceBuf)
+	}
 
 	var urls []string
 	if *backends != "" {
@@ -64,22 +84,33 @@ func main() {
 		}
 	}
 	var spawned []*capserve.Backend
+	var traceLocals []capcluster.TraceSnapshotter
 	for i := 0; i < *spawn; i++ {
+		var btr *captrace.Tracer
+		if *trace {
+			btr = captrace.New(0, *traceBuf)
+		}
 		brt, err := capsule.NewValidated(capsule.Config{
 			Contexts: *spawnContexts,
 			Throttle: true,
+			Tracer:   btr,
 		})
 		if err != nil {
 			fail("spawn backend %d: %v", i, err)
 		}
 		b, err := capserve.StartBackend(capserve.Config{
-			Runtime:    brt,
-			QueueDepth: *spawnQueue,
+			Runtime:     brt,
+			QueueDepth:  *spawnQueue,
+			TraceSample: *traceSample,
+			TraceSource: fmt.Sprintf("backend-%d", i),
 		})
 		if err != nil {
 			fail("spawn backend %d: %v", i, err)
 		}
 		spawned = append(spawned, b)
+		if *trace {
+			traceLocals = append(traceLocals, b.Server)
+		}
 		urls = append(urls, b.URL)
 		fmt.Printf("caprouter: spawned backend %d at %s (contexts=%d)\n", i, b.URL, *spawnContexts)
 	}
@@ -88,11 +119,16 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
-	localRT, err := capsule.NewValidated(capsule.Config{Contexts: *contexts, Throttle: true})
+	localRT, err := capsule.NewValidated(capsule.Config{Contexts: *contexts, Throttle: true, Tracer: tracer})
 	if err != nil {
 		fail("%v", err)
 	}
-	local, err := capserve.New(capserve.Config{Runtime: localRT, QueueDepth: *queue})
+	local, err := capserve.New(capserve.Config{
+		Runtime:     localRT,
+		QueueDepth:  *queue,
+		TraceSample: *traceSample,
+		TraceSource: "caprouter-local",
+	})
 	if err != nil {
 		fail("%v", err)
 	}
@@ -105,11 +141,23 @@ func main() {
 		FailThreshold: *failThreshold,
 		FailWindow:    *failWindow,
 		Timeout:       *timeout,
+		Tracer:        tracer,
+		TraceSample:   *traceSample,
+		TraceLocals:   traceLocals,
 	})
 	if err != nil {
 		fail("%v", err)
 	}
 	router.Refresh() // learn real capacities before the first request
+
+	if *debugAddr != "" {
+		go func() {
+			fmt.Printf("caprouter: pprof on http://%s/debug/pprof/\n", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "caprouter: debug listener: %v\n", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

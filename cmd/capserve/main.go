@@ -8,6 +8,8 @@
 //	capserve -addr :8080 -contexts 4
 //	capserve -addr :8080 -queue 32 -caps quicksort=65536,dijkstra=20000
 //	capserve -throttle=false -window 50us
+//	capserve -trace -trace-sample 16       # lifecycle tracing on /debug/trace
+//	capserve -debug-addr localhost:6060    # net/http/pprof on a side listener
 //
 // Shutdown is graceful: SIGINT/SIGTERM flips /healthz to 503, stops the
 // listener, lets in-flight requests finish (up to -drain), joins the
@@ -20,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // registers on DefaultServeMux, served only on -debug-addr
 	"os"
 	"os/signal"
 	"strconv"
@@ -29,6 +32,7 @@ import (
 
 	"repro/internal/capserve"
 	"repro/internal/capsule"
+	"repro/internal/captrace"
 	"repro/internal/workloads"
 )
 
@@ -42,13 +46,23 @@ func main() {
 	maxN := flag.Int("maxn", 0, "input cap for every workload (0 = per-workload defaults)")
 	caps := flag.String("caps", "", "per-workload caps, e.g. quicksort=65536,lzw=32768")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
+	trace := flag.Bool("trace", false, "record probe/divide lifecycle events, served on /debug/trace")
+	traceBuf := flag.Int("trace-buf", 0, "trace ring slots per shard (0 = default)")
+	traceSample := flag.Int("trace-sample", 0, "trace 1 in N server-minted request IDs (0 = default)")
+	traceSource := flag.String("trace-source", "", "source name stamped on trace snapshots (default capserve)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = off)")
 	flag.Parse()
 
+	var tracer *captrace.Tracer
+	if *trace {
+		tracer = captrace.New(0, *traceBuf)
+	}
 	rt, err := capsule.NewValidated(capsule.Config{
 		Contexts:       *contexts,
 		Throttle:       *throttle,
 		DeathWindow:    *window,
 		DeathThreshold: *threshold,
+		Tracer:         tracer,
 	})
 	if err != nil {
 		fail("%v", err)
@@ -58,14 +72,32 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
-	srv, err := capserve.New(capserve.Config{Runtime: rt, QueueDepth: *queue, MaxN: capMap})
+	srv, err := capserve.New(capserve.Config{
+		Runtime:     rt,
+		QueueDepth:  *queue,
+		MaxN:        capMap,
+		TraceSample: *traceSample,
+		TraceSource: *traceSource,
+	})
 	if err != nil {
 		fail("%v", err)
 	}
 
+	if *debugAddr != "" {
+		// pprof rides the DefaultServeMux (the blank net/http/pprof
+		// import), on its own listener so profiling traffic never
+		// competes with serving traffic for the accept queue.
+		go func() {
+			fmt.Printf("capserve: pprof on http://%s/debug/pprof/\n", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "capserve: debug listener: %v\n", err)
+			}
+		}()
+	}
+
 	hs := &http.Server{Addr: *addr, Handler: srv}
-	fmt.Printf("capserve: listening on %s (contexts=%d queue=%d throttle=%v)\n",
-		*addr, rt.Contexts(), srv.QueueDepth(), *throttle)
+	fmt.Printf("capserve: listening on %s (contexts=%d queue=%d throttle=%v trace=%v)\n",
+		*addr, rt.Contexts(), srv.QueueDepth(), *throttle, *trace)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

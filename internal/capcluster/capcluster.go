@@ -48,6 +48,7 @@ import (
 	"time"
 
 	"repro/internal/capserve"
+	"repro/internal/captrace"
 	"repro/internal/promtext"
 )
 
@@ -125,6 +126,40 @@ type Config struct {
 	// routing reuses connections instead of re-dialing through the
 	// default idle cap of 2.
 	Transport http.RoundTripper
+
+	// Tracer receives the route-span events (KRoute*) and backs the
+	// router's /debug/trace endpoint. cmd/caprouter passes the same
+	// tracer here and to the local tier's capserve.Config, so the
+	// router's spans and the fallback tier's land in one ring set.
+	// Default (nil): cluster-tier tracing disabled.
+	Tracer *captrace.Tracer
+
+	// TraceSample is the 1-in-N sampling rate for router-minted trace
+	// IDs (adopted client IDs are always traced). Default (0):
+	// capserve.DefaultTraceSample.
+	TraceSample int
+
+	// TraceSource names this router in trace snapshots, so cmd/captrace
+	// can tell router spans from backend spans after merging. Default:
+	// "caprouter".
+	TraceSource string
+
+	// TraceLocals are co-process snapshot providers — the spawned
+	// in-process backends of `caprouter -spawn`, each with its own
+	// tracer — whose rings the router's /debug/trace merges alongside
+	// its own (the response becomes a JSON array of snapshots;
+	// captrace.DecodeSnapshots reads either shape). Remote backends
+	// are not listed here: their /debug/trace is reachable at their
+	// own URL, and only the router knows where an ephemeral spawned
+	// backend lives. Default (nil): the router serves only its own
+	// snapshot.
+	TraceLocals []TraceSnapshotter
+}
+
+// TraceSnapshotter is anything that can contribute a trace snapshot to
+// the router's /debug/trace — satisfied by *capserve.Server.
+type TraceSnapshotter interface {
+	TraceSnapshot(n int) captrace.Snapshot
 }
 
 // Validate reports whether cfg can build a Router.
@@ -157,6 +192,9 @@ func (cfg Config) Validate() error {
 	if cfg.FailWindow < 0 || cfg.Timeout < 0 || cfg.MaxBody < 0 {
 		return fmt.Errorf("capcluster: FailWindow, Timeout and MaxBody must be >= 0 (0 means default)")
 	}
+	if cfg.TraceSample < 0 {
+		return fmt.Errorf("capcluster: TraceSample must be >= 0 (0 means %d), got %d", capserve.DefaultTraceSample, cfg.TraceSample)
+	}
 	return nil
 }
 
@@ -174,12 +212,23 @@ type Router struct {
 	start    time.Time
 	draining atomic.Bool
 
+	tracer      *captrace.Tracer
+	sampler     *captrace.Sampler
+	traceSource string
+
 	requests       atomic.Uint64
 	remoteProbes   atomic.Uint64
 	remoteGrants   atomic.Uint64
 	localFallbacks atomic.Uint64
 	clientGone     atomic.Uint64
 	refreshErrs    atomic.Uint64
+
+	// Serving-tier outcome counters: which rung of the degradation
+	// ladder finally produced each 2xx response (the
+	// caprouter_fallback_tier_total series).
+	tierRemote       atomic.Uint64 // dispatched to a backend
+	tierLocalRuntime atomic.Uint64 // local fallback, divisions offered
+	tierSequential   atomic.Uint64 // local fallback, degraded to sequential
 }
 
 // New builds a Router from cfg, applying defaults for zero fields.
@@ -212,13 +261,24 @@ func New(cfg Config) (*Router, error) {
 	if transport == nil {
 		transport = defaultTransport(cfg.MaxCredits)
 	}
+	sample := cfg.TraceSample
+	if sample == 0 {
+		sample = capserve.DefaultTraceSample
+	}
+	source := cfg.TraceSource
+	if source == "" {
+		source = "caprouter"
+	}
 	r := &Router{
-		cfg:    cfg,
-		local:  cfg.Local,
-		place:  cfg.Placement,
-		client: &http.Client{Transport: transport, Timeout: cfg.Timeout},
-		mux:    http.NewServeMux(),
-		start:  time.Now(),
+		cfg:         cfg,
+		local:       cfg.Local,
+		place:       cfg.Placement,
+		client:      &http.Client{Transport: transport, Timeout: cfg.Timeout},
+		mux:         http.NewServeMux(),
+		start:       time.Now(),
+		tracer:      cfg.Tracer,
+		sampler:     captrace.NewSampler(sample),
+		traceSource: source,
 	}
 	for i, base := range cfg.Backends {
 		u, _ := url.Parse(base) // validated above
@@ -227,6 +287,7 @@ func New(cfg Config) (*Router, error) {
 	}
 	r.mux.HandleFunc("GET /healthz", r.handleHealthz)
 	r.mux.HandleFunc("GET /metrics", r.handleMetrics)
+	r.mux.HandleFunc("GET /debug/trace", r.handleTrace)
 	r.mux.HandleFunc("GET /run/{workload}", r.handleRun)
 	r.mux.HandleFunc("POST /run/{workload}", r.handleRun)
 	r.mux.HandleFunc("GET /{$}", r.handleIndex)
@@ -288,6 +349,14 @@ func (r *Router) handleIndex(w http.ResponseWriter, req *http.Request) {
 func (r *Router) handleRun(w http.ResponseWriter, req *http.Request) {
 	r.requests.Add(1)
 
+	// Trace identity first, so every outcome — even a 400 on a bad body
+	// — carries the ID the client stamped. The route span opens here.
+	tid, traced := r.traceIdentity(req)
+	if tid != 0 {
+		w.Header().Set(captrace.HeaderTraceID, captrace.FormatID(tid))
+	}
+	r.trace(traced, captrace.KRouteRecv, tid, 0, uint32(len(r.backends)))
+
 	// Buffer the body up front: it is replayed on retry and fallback.
 	var body []byte
 	if req.Method == http.MethodPost && req.Body != nil && req.ContentLength != 0 {
@@ -312,26 +381,63 @@ func (r *Router) handleRun(w http.ResponseWriter, req *http.Request) {
 				continue
 			}
 			r.remoteGrants.Add(1)
-			switch r.dispatch(w, req, b, body) {
+			// The dispatch span records which backend won and the credit
+			// snapshot that justified it — the router's routing decision,
+			// reconstructable per request.
+			r.trace(traced, captrace.KRouteDispatch, tid, uint16(b.id), uint32(b.Credits()))
+			start := time.Now()
+			switch r.dispatch(w, req, b, body, tid, traced) {
 			case dispatched:
+				elapsed := time.Since(start)
+				b.dispatchLatency.Observe(elapsed)
+				r.trace(traced, captrace.KRouteServed, tid, uint16(b.id), durUS(elapsed))
+				r.tierRemote.Add(1)
 				return
 			case clientGone:
 				r.clientGone.Add(1)
 				w.WriteHeader(statusClientClosed)
 				return
+			case shed:
+				r.trace(traced, captrace.KRouteShed, tid, uint16(b.id), 0)
+			case died:
+				r.trace(traced, captrace.KRouteDeath, tid, uint16(b.id), durUS(time.Since(start)))
 			}
 			// shed or died: probe the next backend.
 		}
 	}
 
 	// Every remote tier refused or failed: degrade to the local runtime.
+	// The identity rides the request context, not the header, so the
+	// local capserve reuses it verbatim (and respects this tier's
+	// sampling decision) instead of re-deciding.
 	r.localFallbacks.Add(1)
 	if body != nil {
 		req.Body = io.NopCloser(bytes.NewReader(body))
 		req.ContentLength = int64(len(body))
 	}
+	if tid != 0 {
+		req = req.WithContext(captrace.WithRequest(req.Context(), tid, traced))
+	}
 	w.Header().Set(HeaderRoute, "local")
-	r.local.ServeHTTP(w, req)
+	sw := &statusWriter{ResponseWriter: w}
+	lstart := time.Now()
+	r.local.ServeHTTP(sw, req)
+
+	// Classify which rung of the ladder actually served the request:
+	// capserve marks sequential-degraded 200s with X-Capserve-Degraded.
+	// Tier 0 in the fallback span means the local tier failed too (shed
+	// or error) — the request died on the bottom rung.
+	var tier uint16
+	if sw.status >= 200 && sw.status < 300 {
+		if w.Header().Get(capserve.HeaderDegraded) == "1" {
+			tier = captrace.TierSequential
+			r.tierSequential.Add(1)
+		} else {
+			tier = captrace.TierLocalRuntime
+			r.tierLocalRuntime.Add(1)
+		}
+	}
+	r.trace(traced, captrace.KRouteFallback, tid, tier, durUS(time.Since(lstart)))
 }
 
 // Refresh re-learns every backend's credit headroom from its /metrics

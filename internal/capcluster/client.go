@@ -7,6 +7,7 @@ import (
 	"strconv"
 
 	"repro/internal/capserve"
+	"repro/internal/captrace"
 	"repro/internal/httptune"
 )
 
@@ -53,8 +54,10 @@ const (
 // dispatch forwards one admitted (probe-granted) request to b and relays
 // the response. It owns the granted credit: every path releases exactly
 // once, after the response — and its headroom header, the fast credit
-// feed — has been consumed.
-func (r *Router) dispatch(w http.ResponseWriter, req *http.Request, b *Backend, body []byte) outcome {
+// feed — has been consumed. A traced request's ID is re-stamped on the
+// outbound header, so the backend adopts the same identity and its
+// serving/runtime events join the router's route span in one waterfall.
+func (r *Router) dispatch(w http.ResponseWriter, req *http.Request, b *Backend, body []byte, tid uint64, traced bool) outcome {
 	defer b.release()
 	b.dispatches.Add(1)
 
@@ -73,6 +76,12 @@ func (r *Router) dispatch(w http.ResponseWriter, req *http.Request, b *Backend, 
 	}
 	if ct := req.Header.Get("Content-Type"); ct != "" {
 		out.Header.Set("Content-Type", ct)
+	}
+	// Propagate only traced identities: a backend adopting a header
+	// always traces it, so forwarding a sampled-out ID would defeat the
+	// router's sampling decision one tier down.
+	if traced && tid != 0 {
+		out.Header.Set(captrace.HeaderTraceID, captrace.FormatID(tid))
 	}
 
 	resp, err := r.client.Do(out)

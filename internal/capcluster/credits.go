@@ -3,6 +3,8 @@ package capcluster
 import (
 	"sync/atomic"
 	"time"
+
+	"repro/internal/capserve"
 )
 
 // A Backend is one remote capserve instance as the router sees it: a URL
@@ -54,6 +56,14 @@ type Backend struct {
 	deaths        atomic.Uint64 // transport errors, timeouts, 5xx
 	creditDenies  atomic.Uint64 // probes refused for lack of credit
 	breakerDenies atomic.Uint64 // probes refused by the failure breaker
+
+	// dispatchLatency is the duration distribution of dispatches that
+	// relayed a response (capcluster_dispatch_duration_seconds on
+	// /metrics). Deaths and timeouts are excluded — they have their own
+	// counter, and folding a 10 s timeout into the latency signal would
+	// bury the p99 the histogram exists to show. capserve's Histogram,
+	// reused rather than reimplemented.
+	dispatchLatency capserve.Histogram
 }
 
 const gaugeLowMask = uint64(0xFFFFFFFF)

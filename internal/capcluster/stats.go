@@ -165,6 +165,22 @@ func (r *Router) writeMetrics(w io.Writer) {
 	perBackend("caprouter_backend_sheds_total", "503 sheds from this backend.", "counter",
 		func(b *Backend) float64 { return float64(b.sheds.Load()) }, "%.0f")
 
+	if len(r.backends) > 0 {
+		fmt.Fprintf(w, "# HELP capcluster_dispatch_duration_seconds Remote dispatch duration, relayed responses only (deaths/timeouts excluded).\n")
+		fmt.Fprintf(w, "# TYPE capcluster_dispatch_duration_seconds histogram\n")
+		for _, b := range r.backends {
+			b.dispatchLatency.Write(w, "capcluster_dispatch_duration_seconds", fmt.Sprintf("backend=%q", b.name))
+		}
+	}
+
+	// The degradation-ladder outcome split: which tier finally produced
+	// each 2xx. remote + local_runtime + sequential can trail
+	// caprouter_requests_total by the requests that failed on every rung.
+	counterHead("caprouter_fallback_tier_total", "Successful requests by the tier that served them.")
+	fmt.Fprintf(w, "caprouter_fallback_tier_total{tier=\"remote\"} %d\n", r.tierRemote.Load())
+	fmt.Fprintf(w, "caprouter_fallback_tier_total{tier=\"local_runtime\"} %d\n", r.tierLocalRuntime.Load())
+	fmt.Fprintf(w, "caprouter_fallback_tier_total{tier=\"sequential\"} %d\n", r.tierSequential.Load())
+
 	// The local tier's own exposition (capsule_* and capserve_* series):
 	// the same names a standalone capserve exports, because that is
 	// exactly what the fallback tier is.

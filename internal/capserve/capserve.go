@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/capsule"
+	"repro/internal/captrace"
 	"repro/internal/workloads"
 )
 
@@ -54,6 +55,11 @@ const (
 	// HeaderFreeContexts is the runtime's unreserved context-token count
 	// — division headroom, not admission headroom.
 	HeaderFreeContexts = "X-Capsule-Free-Contexts"
+	// HeaderDegraded marks a 200 response whose run was admitted without
+	// division headroom and executed on the Sequential domain. The
+	// routing tier reads it off its local-fallback responses to tell the
+	// two degradation tiers apart (local-runtime vs sequential).
+	HeaderDegraded = "X-Capserve-Degraded"
 )
 
 // defaultCaps are the per-workload default input caps. They bound
@@ -86,6 +92,24 @@ type Config struct {
 	// only bound on per-request cost — a run, once dispatched, is not
 	// cancellable mid-flight — so raise them deliberately.
 	MaxN map[string]int
+
+	// Tracer receives the serving-tier lifecycle events and backs the
+	// /debug/trace endpoint. Default (nil): inherit the Runtime's tracer,
+	// so wiring a tracer into the runtime Config is the only step needed
+	// to get both tiers recorded into one ring set. Explicitly leaving
+	// both nil disables request tracing entirely.
+	Tracer *captrace.Tracer
+
+	// TraceSample is the 1-in-N sampling rate for server-generated trace
+	// IDs (adopted client/router IDs are always traced). Default (0):
+	// DefaultTraceSample. 1 traces every request — CI smoke territory,
+	// not production.
+	TraceSample int
+
+	// TraceSource names this server in trace snapshots, so cmd/captrace
+	// can tell router and backend events apart after merging. Default:
+	// "capserve".
+	TraceSource string
 }
 
 // Validate reports whether cfg can build a Server.
@@ -95,6 +119,9 @@ func (cfg Config) Validate() error {
 	}
 	if cfg.QueueDepth < 0 {
 		return fmt.Errorf("capserve: QueueDepth must be >= 0 (0 means 4x contexts), got %d", cfg.QueueDepth)
+	}
+	if cfg.TraceSample < 0 {
+		return fmt.Errorf("capserve: TraceSample must be >= 0 (0 means %d), got %d", DefaultTraceSample, cfg.TraceSample)
 	}
 	known := map[string]bool{}
 	for _, wl := range workloads.NativeNames() {
@@ -125,6 +152,10 @@ type Server struct {
 	start     time.Time
 	draining  atomic.Bool
 
+	tracer      *captrace.Tracer
+	sampler     *captrace.Sampler
+	traceSource string
+
 	shed     atomic.Uint64
 	notFound atomic.Uint64
 }
@@ -138,14 +169,29 @@ func New(cfg Config) (*Server, error) {
 	if depth == 0 {
 		depth = 4 * cfg.Runtime.Contexts()
 	}
+	sample := cfg.TraceSample
+	if sample == 0 {
+		sample = DefaultTraceSample
+	}
+	tracer := cfg.Tracer
+	if tracer == nil {
+		tracer = cfg.Runtime.Tracer()
+	}
+	source := cfg.TraceSource
+	if source == "" {
+		source = "capserve"
+	}
 	s := &Server{
-		rt:        cfg.Runtime,
-		queue:     make(chan struct{}, depth),
-		maxN:      map[string]int{},
-		workloads: workloads.NativeNames(),
-		eps:       map[string]*endpoint{},
-		mux:       http.NewServeMux(),
-		start:     time.Now(),
+		rt:          cfg.Runtime,
+		queue:       make(chan struct{}, depth),
+		maxN:        map[string]int{},
+		workloads:   workloads.NativeNames(),
+		eps:         map[string]*endpoint{},
+		mux:         http.NewServeMux(),
+		start:       time.Now(),
+		tracer:      tracer,
+		sampler:     captrace.NewSampler(sample),
+		traceSource: source,
 	}
 	for _, wl := range s.workloads {
 		s.eps[wl] = &endpoint{}
@@ -160,6 +206,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /run/{workload}", s.handleRun)
 	s.mux.HandleFunc("POST /run/{workload}", s.handleRun)
 	s.mux.HandleFunc("GET /{$}", s.handleIndex)
@@ -240,6 +287,15 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	s.setHeadroom(w.Header())
 
+	// Trace identity before admission, so even a shed is attributable
+	// to the ID the client (or router) stamped. The ID is echoed
+	// whenever one exists — traced or merely sampled-out — so callers
+	// always learn what to ask /debug/trace about.
+	tid, traced := s.traceIdentity(r)
+	if tid != 0 {
+		w.Header().Set(captrace.HeaderTraceID, captrace.FormatID(tid))
+	}
+
 	// Bounded accept queue: full means shed now, not queue forever.
 	select {
 	case s.queue <- struct{}{}:
@@ -247,6 +303,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	default:
 		s.shed.Add(1)
 		ep.inc(http.StatusServiceUnavailable)
+		s.trace(traced, captrace.KReqShed, tid, 0, 0)
 		// Re-stamp: the admission-time stamp can predate the queue
 		// filling, and a shed advertising stale positive headroom would
 		// tell routers to keep sending to a saturated backend.
@@ -255,6 +312,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "accept queue full, request shed", http.StatusServiceUnavailable)
 		return
 	}
+	s.trace(traced, captrace.KReqAdmit, tid, 0, uint32(len(s.queue)))
 
 	n, seed, err := s.parseParams(r)
 	if err != nil {
@@ -287,12 +345,21 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	var group *capsule.Group
 	degraded := false
 	if s.rt.CanDivide() {
-		group = s.rt.NewGroup()
+		// A traced group tags the request's runtime events (probe
+		// outcomes, handoffs, deaths) with its ID — the serving-tier →
+		// shard-event link in the waterfall. Untraced requests get a
+		// tid-0 group, which records nothing.
+		var gtid uint64
+		if traced {
+			gtid = tid
+		}
+		group = s.rt.NewGroupTraced(gtid)
 		dom = group
 	} else {
 		dom = s.rt.Sequential()
 		degraded = true
 		ep.degraded.Add(1)
+		s.trace(traced, captrace.KReqDegraded, tid, 0, 0)
 	}
 
 	res, err := workloads.RunRequest(dom, wl, n, seed)
@@ -300,6 +367,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		// Parameters were validated above, so this is a server-side
 		// failure, not a client one.
 		ep.inc(http.StatusInternalServerError)
+		s.trace(traced, captrace.KReqDone, tid, http.StatusInternalServerError, durUS(time.Since(start)))
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
@@ -309,10 +377,26 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		resp.Divisions = group.Stats()
 	}
 	ep.inc(http.StatusOK)
-	ep.latency.observe(time.Since(start))
+	elapsed := time.Since(start)
+	ep.latency.Observe(elapsed)
+	s.trace(traced, captrace.KReqDone, tid, http.StatusOK, durUS(elapsed))
 	s.setHeadroom(w.Header()) // refresh: this is the value routers act on
+	if degraded {
+		w.Header().Set(HeaderDegraded, "1")
+	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
+}
+
+// durUS packs a duration into the µs-resolution uint32 the trace event
+// payload carries (saturating: ~71 minutes caps the field, far beyond
+// any request this server dispatches).
+func durUS(d time.Duration) uint32 {
+	us := d.Microseconds()
+	if us > int64(^uint32(0)) {
+		return ^uint32(0)
+	}
+	return uint32(us)
 }
 
 // parseParams reads n and seed from the query string, letting a JSON

@@ -32,18 +32,21 @@ var latencyBucketsNS = func() [15]int64 {
 	return ns
 }()
 
-// histogram is a fixed-bucket latency histogram with atomic counters.
+// Histogram is a fixed-bucket latency histogram with atomic counters.
 // counts[i] is the number of observations in bucket i (NOT cumulative;
 // cumulation happens at write time, as the text format requires), with
-// the final slot holding the +Inf overflow. observe is two atomic adds:
+// the final slot holding the +Inf overflow. Observe is two atomic adds:
 // safe for any number of concurrent request goroutines, allocation-free,
-// and mutex-free.
-type histogram struct {
+// and mutex-free. Exported because it is the repo's one histogram
+// implementation: capcluster reuses it for its per-backend dispatch
+// durations rather than growing a second copy of the bucket logic.
+type Histogram struct {
 	counts [16]atomic.Uint64 // len(latencyBuckets)+1
 	sumNS  atomic.Int64
 }
 
-func (h *histogram) observe(d time.Duration) {
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
 	ns := d.Nanoseconds()
 	i := 0
 	for i < len(latencyBucketsNS) && ns > latencyBucketsNS[i] {
@@ -53,11 +56,11 @@ func (h *histogram) observe(d time.Duration) {
 	h.sumNS.Add(ns)
 }
 
-// write emits the _bucket/_sum/_count series for one labelled histogram.
+// Write emits the _bucket/_sum/_count series for one labelled histogram.
 // _count is the +Inf cumulative rather than a separate load of h.n, so a
 // scrape racing live observations can never emit a _count that disagrees
 // with the buckets (the Prometheus histogram invariant).
-func (h *histogram) write(w io.Writer, name, labels string) {
+func (h *Histogram) Write(w io.Writer, name, labels string) {
 	var cum uint64
 	for i, le := range latencyBuckets {
 		cum += h.counts[i].Load()
@@ -83,7 +86,7 @@ var statusCodes = []int{200, 400, 413, 499, 500, 503}
 type endpoint struct {
 	byCode   [6]atomic.Uint64 // parallel to statusCodes
 	degraded atomic.Uint64    // requests run on the Sequential domain
-	latency  histogram        // 2xx request durations
+	latency  Histogram        // 2xx request durations
 }
 
 func (e *endpoint) inc(code int) {
@@ -140,6 +143,28 @@ func (s *Server) writeMetrics(w io.Writer) {
 	// absorb right now.
 	gauge("capsule_free_contexts", "Currently unreserved context tokens (instantaneous division headroom).", float64(s.rt.FreeContexts()))
 
+	// Sharded-pool internals (PR 5), per shard. Attribution is by the
+	// prober's home shard: a shard's steals are grants its probers took
+	// from elsewhere, so a hot shard here means probers homed there are
+	// outrunning their local free list.
+	shards := s.rt.ShardCounterSnapshot()
+	counterHead("capsule_shard_local_hits_total", "Grants served by the prober's home shard.")
+	for i := range shards {
+		fmt.Fprintf(w, "capsule_shard_local_hits_total{shard=\"%d\"} %d\n", i, shards[i].LocalHits)
+	}
+	counterHead("capsule_shard_steals_total", "Grants that stole a token from another shard after a local miss.")
+	for i := range shards {
+		fmt.Fprintf(w, "capsule_shard_steals_total{shard=\"%d\"} %d\n", i, shards[i].Steals)
+	}
+	counterHead("capsule_shard_full_sweeps_total", "Refusals reached only after sweeping every shard empty.")
+	for i := range shards {
+		fmt.Fprintf(w, "capsule_shard_full_sweeps_total{shard=\"%d\"} %d\n", i, shards[i].FullSweeps)
+	}
+	fmt.Fprintf(w, "# HELP capsule_shard_free Free tokens currently in each pool shard.\n# TYPE capsule_shard_free gauge\n")
+	for i := range shards {
+		fmt.Fprintf(w, "capsule_shard_free{shard=\"%d\"} %d\n", i, shards[i].Free)
+	}
+
 	gauge("capserve_uptime_seconds", "Seconds since the server was built.", time.Since(s.start).Seconds())
 	gauge("capserve_queue_depth", "Bounded accept-queue capacity.", float64(cap(s.queue)))
 	gauge("capserve_queue_occupancy", "Requests currently holding an accept-queue slot.", float64(len(s.queue)))
@@ -161,6 +186,6 @@ func (s *Server) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "# HELP capserve_request_duration_seconds Successful request duration.\n")
 	fmt.Fprintf(w, "# TYPE capserve_request_duration_seconds histogram\n")
 	for _, wl := range s.workloads {
-		s.eps[wl].latency.write(w, "capserve_request_duration_seconds", fmt.Sprintf("workload=%q", wl))
+		s.eps[wl].latency.Write(w, "capserve_request_duration_seconds", fmt.Sprintf("workload=%q", wl))
 	}
 }

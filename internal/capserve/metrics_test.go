@@ -11,12 +11,12 @@ import (
 // lands in that bound's bucket, one past it spills to the next, and
 // everything beyond the last bound lands in +Inf.
 func TestHistogramBucketBoundaries(t *testing.T) {
-	var h histogram
-	h.observe(100 * time.Microsecond)          // == bucket 0 bound: le inclusive
-	h.observe(100*time.Microsecond + 1)        // just past: bucket 1
-	h.observe(time.Nanosecond)                 // far below: bucket 0
-	h.observe(5 * time.Second)                 // == last bound: bucket 14
-	h.observe(5*time.Second + time.Nanosecond) // beyond: +Inf slot
+	var h Histogram
+	h.Observe(100 * time.Microsecond)          // == bucket 0 bound: le inclusive
+	h.Observe(100*time.Microsecond + 1)        // just past: bucket 1
+	h.Observe(time.Nanosecond)                 // far below: bucket 0
+	h.Observe(5 * time.Second)                 // == last bound: bucket 14
+	h.Observe(5*time.Second + time.Nanosecond) // beyond: +Inf slot
 	want := map[int]uint64{0: 2, 1: 1, 14: 1, 15: 1}
 	for i := range h.counts {
 		if got := h.counts[i].Load(); got != want[i] {
@@ -32,7 +32,7 @@ func TestHistogramBucketBoundaries(t *testing.T) {
 	// The rendered exposition keeps the Prometheus invariant: _count
 	// equals the +Inf cumulative.
 	var sb strings.Builder
-	h.write(&sb, "x", `workload="w"`)
+	h.Write(&sb, "x", `workload="w"`)
 	out := sb.String()
 	if !strings.Contains(out, `x_bucket{workload="w",le="+Inf"} 5`) {
 		t.Fatalf("+Inf bucket wrong:\n%s", out)
@@ -50,9 +50,9 @@ func TestHistogramBucketBoundaries(t *testing.T) {
 // measurement must not become the contention point the runtime rewrite
 // just removed.
 func TestHistogramObserveAllocFree(t *testing.T) {
-	var h histogram
+	var h Histogram
 	if got := testing.AllocsPerRun(1000, func() {
-		h.observe(314 * time.Microsecond)
+		h.Observe(314 * time.Microsecond)
 	}); got != 0 {
 		t.Fatalf("observe allocs/op = %v, want 0", got)
 	}

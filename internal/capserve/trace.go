@@ -1,0 +1,91 @@
+package capserve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"repro/internal/captrace"
+)
+
+// Request tracing: every /run request gets a trace identity — adopted,
+// injected, or minted — and the serving-tier lifecycle (admit, shed,
+// degrade, done) is recorded against it in the shared tracer, alongside
+// the runtime events its Domain produces (see NewGroupTraced). The
+// /debug/trace endpoint is the read side.
+
+// DefaultTraceSample is the 1-in-N sampling rate for server-generated
+// trace IDs when Config.TraceSample is 0: enough exemplars to always
+// have a recent waterfall, cheap enough to leave on.
+const DefaultTraceSample = 64
+
+// traceIdentity decides a request's trace ID and whether its events are
+// recorded, in precedence order:
+//
+//  1. an identity injected via captrace.WithRequest (the in-process
+//     router fallback path) is authoritative — the router already
+//     decided, and re-deciding here could disagree with its route span;
+//  2. a parseable X-Capsule-Trace-ID header is adopted and always
+//     traced: whoever stamped it (capload -trace, a curl repro, the
+//     router's dispatch propagation) wants this request observable;
+//  3. otherwise, with tracing armed, an ID is minted and traced for one
+//     in TraceSample requests — steady background exemplars.
+//
+// With no tracer armed there is no identity at all: the header is not
+// echoed and nothing is recorded, keeping the disabled path at zero
+// added work beyond one nil check.
+func (s *Server) traceIdentity(r *http.Request) (tid uint64, traced bool) {
+	if id, tr, ok := captrace.RequestFrom(r.Context()); ok {
+		return id, tr && s.tracer != nil
+	}
+	if s.tracer == nil {
+		return 0, false
+	}
+	if h := r.Header.Get(captrace.HeaderTraceID); h != "" {
+		if id, err := captrace.ParseID(h); err == nil {
+			return id, true
+		}
+		// Malformed header: mint instead of adopting garbage, so the
+		// response still tells the client what ID (if any) to look for.
+	}
+	return captrace.NewID(), s.sampler.Sample()
+}
+
+// trace records one serving-tier event against a traced request; a
+// no-op for untraced ones. (tid may be nonzero while traced is false:
+// identified-but-unsampled requests echo their ID but record nothing.)
+func (s *Server) trace(traced bool, kind captrace.Kind, tid uint64, a uint16, b uint32) {
+	if traced {
+		s.tracer.Record(kind, tid, 0, a, b)
+	}
+}
+
+// TraceSnapshot reads the server's tracer under its configured source
+// name — what handleTrace serves, exposed so an embedder holding the
+// server in-process (a router with spawned backends) can merge this
+// server's rings into its own /debug/trace endpoint. Empty-armed or
+// untraced servers return an empty snapshot.
+func (s *Server) TraceSnapshot(n int) captrace.Snapshot {
+	return s.tracer.Snapshot(s.traceSource, n)
+}
+
+// handleTrace serves GET /debug/trace?n= — a point-in-time snapshot of
+// the tracer's rings as JSON, the ingestion format of cmd/captrace.
+// Read-side aggregation only: safe to hit while the hot path writes.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.tracer == nil {
+		http.Error(w, "tracing disabled (start with -trace)", http.StatusNotFound)
+		return
+	}
+	n := 0
+	if v := r.URL.Query().Get("n"); v != "" {
+		p, err := strconv.Atoi(v)
+		if err != nil || p < 0 {
+			http.Error(w, "bad n: want a non-negative integer", http.StatusBadRequest)
+			return
+		}
+		n = p
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.tracer.Snapshot(s.traceSource, n))
+}

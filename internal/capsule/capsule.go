@@ -47,6 +47,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/captrace"
 )
 
 // Config parameterises a Runtime. The zero value is usable: every field
@@ -85,6 +87,18 @@ type Config struct {
 	// LockStripes is the lock-table size (rounded up to a power of two).
 	// Default: 256 entries, mirroring the bounded fast lock table.
 	LockStripes int
+
+	// Tracer, when non-nil, receives lifecycle events (probe outcomes,
+	// handoffs, deaths, throttle transitions) from the hot path. Probe
+	// and the Runtime-level Divide/TryDivide stay untraced either way;
+	// per-request events flow only through ProbeTraced/NewGroupTraced
+	// with a nonzero trace ID, and throttle edges are detected on the
+	// death path, admission peeks and traced probes — so an
+	// armed-but-unsampled probe runs the same instructions as tracing
+	// off (the capstress trace_overhead budget). nil (the default)
+	// disables tracing entirely — every instrumentation point is one
+	// predictable branch.
+	Tracer *captrace.Tracer
 }
 
 // Defaults returns the standard configuration: GOMAXPROCS contexts,
@@ -133,6 +147,15 @@ type Stats struct {
 	TotalWorkers   uint64 `json:"total_workers"`   // workers ever spawned
 	PeakWorkers    int    `json:"peak_workers"`    // maximum simultaneously live workers
 	LockAcquires   uint64 `json:"lock_acquires"`   // lock-table acquisitions
+
+	// Sharded-pool internals (PR 5), aggregated over shards: grants
+	// served by the prober's home shard, grants that stole from another
+	// shard, and refusals reached only after sweeping every shard empty.
+	// ShardLocalHits + ShardSteals == Granted, and ShardFullSweeps <=
+	// NoCtxDenies (closed-runtime denies refuse without sweeping).
+	ShardLocalHits  uint64 `json:"shard_local_hits"`
+	ShardSteals     uint64 `json:"shard_steals"`
+	ShardFullSweeps uint64 `json:"shard_full_sweeps"`
 }
 
 // Delta returns the counters accumulated since prev, an earlier snapshot
@@ -143,15 +166,18 @@ type Stats struct {
 // observers): take Stats() before, Stats() after, and Delta the two.
 func (s Stats) Delta(prev Stats) Stats {
 	return Stats{
-		Probes:         s.Probes - prev.Probes,
-		Granted:        s.Granted - prev.Granted,
-		NoCtxDenies:    s.NoCtxDenies - prev.NoCtxDenies,
-		ThrottleDenies: s.ThrottleDenies - prev.ThrottleDenies,
-		InlineRuns:     s.InlineRuns - prev.InlineRuns,
-		Deaths:         s.Deaths - prev.Deaths,
-		TotalWorkers:   s.TotalWorkers - prev.TotalWorkers,
-		PeakWorkers:    s.PeakWorkers,
-		LockAcquires:   s.LockAcquires - prev.LockAcquires,
+		Probes:          s.Probes - prev.Probes,
+		Granted:         s.Granted - prev.Granted,
+		NoCtxDenies:     s.NoCtxDenies - prev.NoCtxDenies,
+		ThrottleDenies:  s.ThrottleDenies - prev.ThrottleDenies,
+		InlineRuns:      s.InlineRuns - prev.InlineRuns,
+		Deaths:          s.Deaths - prev.Deaths,
+		TotalWorkers:    s.TotalWorkers - prev.TotalWorkers,
+		PeakWorkers:     s.PeakWorkers,
+		LockAcquires:    s.LockAcquires - prev.LockAcquires,
+		ShardLocalHits:  s.ShardLocalHits - prev.ShardLocalHits,
+		ShardSteals:     s.ShardSteals - prev.ShardSteals,
+		ShardFullSweeps: s.ShardFullSweeps - prev.ShardFullSweeps,
 	}
 }
 
@@ -215,13 +241,24 @@ type Runtime struct {
 	// aggregates the blocks on read.
 	//
 	// Counter discipline (the Stats no-tear invariant): Probe bumps its
-	// outcome counter (granted / noCtxDenies / throttleDenies) BEFORE
-	// probes in the SAME shard block, and Stats loads every shard's probes
-	// before any shard's outcome counters — so each shard contributes no
-	// more probes than outcomes to the snapshot, and every snapshot
-	// satisfies Probes <= Granted + NoCtxDenies + ThrottleDenies, with
-	// equality at quiescence.
+	// outcome counter (localHits / steals / fullSweeps / closedDenies /
+	// throttleDenies) BEFORE probes in the SAME shard block, and Stats
+	// loads every shard's probes before any shard's outcome counters —
+	// so each shard contributes no more probes than outcomes to the
+	// snapshot, and every snapshot satisfies Probes <= Granted +
+	// NoCtxDenies + ThrottleDenies (Granted and NoCtxDenies being
+	// derived sums of those outcomes), with equality at quiescence.
 	stats []statShard
+
+	// Tracing (nil tracer = off). ctxTrace[id] is the trace ID of the
+	// request whose division currently occupies context id, written by
+	// the spawner before the handoff and read by the worker at death —
+	// plain memory, ordered by the same handoff edge that publishes the
+	// job itself. throttleOpen mirrors the last observed throttle state
+	// so transitions (not levels) become KThrottleOpen/Close events.
+	tracer       *captrace.Tracer
+	ctxTrace     []uint64
+	throttleOpen atomic.Bool
 
 	live atomic.Int64
 	peak atomic.Int64
@@ -279,9 +316,11 @@ func New(cfg Config) *Runtime {
 		lockMask: uint64(stripes - 1),
 		now:      func() int64 { return time.Now().UnixNano() },
 	}
+	rt.tracer = cfg.Tracer
 	rt.pool.init(cfg.Contexts, cfg.PoolShards)
 	rt.ring.init(cfg.DeathThreshold)
 	rt.ctxs = make([]Context, cfg.Contexts)
+	rt.ctxTrace = make([]uint64, cfg.Contexts)
 	rt.workerWG.Add(cfg.Contexts)
 	for i := range rt.ctxs {
 		rt.ctxs[i] = Context{rt: rt, id: i}
@@ -321,7 +360,12 @@ func (rt *Runtime) FreeContexts() int { return rt.pool.free() }
 // degrades on !CanDivide won't pour doomed offers into a throttled
 // runtime. It is a few atomic loads: cheap enough for every request.
 func (rt *Runtime) CanDivide() bool {
-	if rt.closed.Load() || rt.throttled() {
+	if rt.closed.Load() {
+		return false
+	}
+	open := rt.throttled()
+	rt.traceThrottleEdge(open)
+	if open {
 		return false
 	}
 	return rt.pool.free() > 0
@@ -339,6 +383,30 @@ func (rt *Runtime) throttled() bool {
 	return rt.ring.atLeast(rt.cfg.DeathThreshold, rt.now, rt.cfg.DeathWindow.Nanoseconds())
 }
 
+// traceThrottleEdge records an open/close transition of the death-rate
+// throttle against the last observed state. It is deliberately kept off
+// the untraced probe fast path — an armed-but-unsampled probe pays no
+// extra atomic loads for it (the capstress trace_overhead budget) — and
+// is instead driven from the sites that can actually witness an edge
+// promptly: death recording (deaths are what open the throttle),
+// CanDivide admission peeks, and traced probes (which sample the level
+// anyway). open is the caller's freshly computed throttled() level.
+func (rt *Runtime) traceThrottleEdge(open bool) {
+	if rt.tracer == nil || open == rt.throttleOpen.Load() {
+		return
+	}
+	// Transition, not level: exactly one racing observer wins the CAS
+	// and records the edge. Trace ID 0 — the throttle is runtime
+	// state, not any one request's.
+	if rt.throttleOpen.CompareAndSwap(!open, open) {
+		kind := captrace.KThrottleClose
+		if open {
+			kind = captrace.KThrottleOpen
+		}
+		rt.tracer.Record(kind, 0, 0, 0, 0)
+	}
+}
+
 // Probe attempts to reserve a context token: the paper's nthr condition.
 // It succeeds only when the pool has a free token and the death-rate
 // throttle is quiescent. On success the returned Context MUST be consumed
@@ -352,29 +420,64 @@ func (rt *Runtime) throttled() bool {
 // — Probes <= Granted + NoCtxDenies + ThrottleDenies holds in every
 // snapshot (absent a concurrent ResetStats, which trades that guarantee
 // away; see its doc).
-func (rt *Runtime) Probe() (*Context, bool) {
+func (rt *Runtime) Probe() (*Context, bool) { return rt.probe(0) }
+
+// ProbeTraced is Probe with a trace identity: when tid is nonzero and
+// the runtime has a Tracer, the probe's outcome (grant with shard and
+// steal distance, or refusal with its reason) is recorded against tid,
+// and a subsequent Spawn of the returned context tags its handoff and
+// death the same way. tid 0 is exactly Probe.
+func (rt *Runtime) ProbeTraced(tid uint64) (*Context, bool) { return rt.probe(tid) }
+
+func (rt *Runtime) probe(tid uint64) (*Context, bool) {
 	h := affinityHint(rt.nshards)
 	st := &rt.stats[h]
 	if rt.closed.Load() {
 		// A closed runtime grants nothing; the pool is (being) drained, so
-		// "no context" is the literal refusal reason.
-		st.noCtxDenies.Add(1)
+		// "no context" is the refusal Stats reports (NoCtxDenies sums
+		// these with the pool-empty sweeps).
+		st.closedDenies.Add(1)
 		st.probes.Add(1)
+		if tid != 0 {
+			rt.tracer.Record(captrace.KProbeDenied, tid, uint8(h), captrace.DenyClosed, 0)
+		}
 		return nil, false
 	}
-	if rt.throttled() {
+	open := rt.throttled()
+	if tid != 0 {
+		rt.traceThrottleEdge(open)
+	}
+	if open {
 		st.throttleDenies.Add(1)
 		st.probes.Add(1)
+		if tid != 0 {
+			rt.tracer.Record(captrace.KProbeDenied, tid, uint8(h), captrace.DenyThrottle, 0)
+		}
 		return nil, false
 	}
-	id, ok := rt.pool.pop(h)
+	id, steals, ok := rt.pool.popScan(h)
 	if !ok {
-		st.noCtxDenies.Add(1)
+		// fullSweeps IS this path's outcome counter (Stats folds it into
+		// NoCtxDenies), so the empty-pool refusal pays the same two
+		// counter bumps it did before the per-shard breakdown existed.
+		st.fullSweeps.Add(1)
 		st.probes.Add(1)
+		if tid != 0 {
+			rt.tracer.Record(captrace.KProbeDenied, tid, uint8(h), captrace.DenyNoCtx, 0)
+		}
 		return nil, false
 	}
-	st.granted.Add(1)
+	// localHits/steals ARE the grant outcome counters (Granted is their
+	// sum, derived in Stats): the grant path stays at two bumps.
+	if steals == 0 {
+		st.localHits.Add(1)
+	} else {
+		st.steals.Add(1)
+	}
 	st.probes.Add(1)
+	if tid != 0 {
+		rt.tracer.Record(captrace.KProbeGranted, tid, uint8(h), uint16(steals), uint32(id))
+	}
 	return &rt.ctxs[id], true
 }
 
@@ -385,20 +488,26 @@ func (rt *Runtime) Probe() (*Context, bool) {
 // worker is still spinning after its last job, a buffered channel send
 // once it parked; either way no goroutine spawn and no allocation beyond
 // fn's own closure (see worker.go).
-func (rt *Runtime) Spawn(c *Context, fn func()) { rt.spawnOn(c, fn, nil) }
+func (rt *Runtime) Spawn(c *Context, fn func()) { rt.spawnOn(c, fn, nil, 0) }
 
-// spawnOn is Spawn with an optional extra join group: when g is non-nil
-// the worker is also counted in g, so Group.Join can wait for exactly its
-// own workers while Runtime.Join still covers everyone. The extra Done
-// fires after the token release, so by the time a group join returns its
-// workers' deaths are visible in the runtime's stats and pool.
-func (rt *Runtime) spawnOn(c *Context, fn func(), g *sync.WaitGroup) {
+// spawnOn is Spawn with an optional extra join group and trace identity:
+// when g is non-nil the worker is also counted in g, so Group.Join can
+// wait for exactly its own workers while Runtime.Join still covers
+// everyone. The extra Done fires after the token release, so by the time
+// a group join returns its workers' deaths are visible in the runtime's
+// stats and pool. tid tags the context's handoff and eventual death in
+// the tracer (0 = untraced); the ctxTrace store is unconditional so a
+// context last used by a traced request never mis-attributes its next,
+// untraced occupant. The store is safely ordered: only the token holder
+// writes it, and the worker reads it after the handoff edge.
+func (rt *Runtime) spawnOn(c *Context, fn func(), g *sync.WaitGroup, tid uint64) {
 	if c == nil || c.rt != rt {
 		panic("capsule: Spawn with foreign or nil context")
 	}
 	if fn == nil {
 		panic("capsule: Spawn with nil fn")
 	}
+	rt.ctxTrace[c.id] = tid
 	rt.stat().totalWorkers.Add(1)
 	live := rt.live.Add(1)
 	for {
@@ -440,6 +549,17 @@ func (rt *Runtime) release(id int) {
 	rt.stats[h].deaths.Add(1)
 	if rt.cfg.Throttle {
 		rt.ring.record(rt.now())
+		if rt.tracer != nil {
+			// The death this worker just recorded may have tripped the
+			// throttle: the death path, not the probe path, is where open
+			// edges are born, so check here while the ring line is hot.
+			rt.traceThrottleEdge(rt.throttled())
+		}
+	}
+	if tid := rt.ctxTrace[id]; tid != 0 {
+		// Read is safe pre-push: the worker still owns the token here, and
+		// the spawner's ctxTrace store happened-before the job arrived.
+		rt.tracer.Record(captrace.KDeath, tid, uint8(h), 0, uint32(id))
 	}
 	rt.pool.push(id, h)
 	rt.wg.Done()
@@ -518,17 +638,64 @@ func (rt *Runtime) Stats() Stats {
 	}
 	for i := range rt.stats {
 		st := &rt.stats[i]
-		s.Granted += st.granted.Load()
-		s.NoCtxDenies += st.noCtxDenies.Load()
+		// Granted and the pool-empty denies are derived, not separately
+		// counted: localHits/steals/fullSweeps are the outcome counters
+		// the hot path actually bumps.
+		localHits := st.localHits.Load()
+		steals := st.steals.Load()
+		sweeps := st.fullSweeps.Load()
+		s.Granted += localHits + steals
+		s.NoCtxDenies += st.closedDenies.Load() + sweeps
 		s.ThrottleDenies += st.throttleDenies.Load()
 		s.InlineRuns += st.inlineRuns.Load()
 		s.Deaths += st.deaths.Load()
 		s.TotalWorkers += st.totalWorkers.Load()
 		s.LockAcquires += st.lockAcquires.Load()
+		s.ShardLocalHits += localHits
+		s.ShardSteals += steals
+		s.ShardFullSweeps += sweeps
 	}
 	s.PeakWorkers = int(rt.peak.Load())
 	return s
 }
+
+// ShardCounters is one stat shard's pool-behaviour counters, the
+// per-shard breakdown behind Stats' ShardLocalHits/ShardSteals/
+// ShardFullSweeps aggregates. Free is the matching pool shard's current
+// free-token count (a peek, like FreeContexts).
+type ShardCounters struct {
+	LocalHits  uint64 `json:"local_hits"`
+	Steals     uint64 `json:"steals"`
+	FullSweeps uint64 `json:"full_sweeps"`
+	Free       int    `json:"free"`
+}
+
+// ShardCounterSnapshot returns each shard's counters in shard order —
+// the read-side aggregation point for the capsule_shard_* metrics
+// series. Note the attribution: a shard's block counts probes *homed*
+// there (the prober's affinity), so a shard's Steals are grants its
+// probers took from elsewhere, not tokens taken from it.
+func (rt *Runtime) ShardCounterSnapshot() []ShardCounters {
+	out := make([]ShardCounters, rt.nshards)
+	for i := range out {
+		st := &rt.stats[i]
+		out[i] = ShardCounters{
+			LocalHits:  st.localHits.Load(),
+			Steals:     st.steals.Load(),
+			FullSweeps: st.fullSweeps.Load(),
+			Free:       int(rt.pool.shards[i].free.Load()),
+		}
+		if out[i].Free < 0 {
+			out[i].Free = 0
+		}
+	}
+	return out
+}
+
+// Tracer returns the tracer this runtime records into (nil when
+// tracing is disabled) — the handle the serving tier snapshots for
+// /debug/trace.
+func (rt *Runtime) Tracer() *captrace.Tracer { return rt.tracer }
 
 // ResetStats zeroes the counters (the context pool and death window are
 // left alone: resource state is not statistics). The accounting
@@ -541,13 +708,15 @@ func (rt *Runtime) ResetStats() {
 	for i := range rt.stats {
 		st := &rt.stats[i]
 		st.probes.Store(0)
-		st.granted.Store(0)
-		st.noCtxDenies.Store(0)
+		st.closedDenies.Store(0)
 		st.throttleDenies.Store(0)
 		st.inlineRuns.Store(0)
 		st.deaths.Store(0)
 		st.totalWorkers.Store(0)
 		st.lockAcquires.Store(0)
+		st.localHits.Store(0)
+		st.steals.Store(0)
+		st.fullSweeps.Store(0)
 	}
 	rt.peak.Store(rt.live.Load())
 }

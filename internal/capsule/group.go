@@ -3,6 +3,8 @@ package capsule
 import (
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/captrace"
 )
 
 // A Domain is a division-capable execution scope: the method set component
@@ -63,8 +65,9 @@ func (s GroupStats) GrantRate() float64 {
 // group may Join it, and not concurrently with its own new top-level
 // divisions.
 type Group struct {
-	rt *Runtime
-	wg sync.WaitGroup
+	rt  *Runtime
+	tid uint64 // trace ID tagging this group's runtime events (0 = untraced)
+	wg  sync.WaitGroup
 
 	probes  atomic.Uint64
 	granted atomic.Uint64
@@ -74,6 +77,12 @@ type Group struct {
 // NewGroup returns a fresh join scope on rt.
 func (rt *Runtime) NewGroup() *Group { return &Group{rt: rt} }
 
+// NewGroupTraced returns a join scope whose division offers, handoffs,
+// worker deaths and inline fallbacks are recorded against tid — the
+// serving tier's bridge from a request's X-Capsule-Trace-ID to the
+// runtime events its Domain causes. tid 0 is exactly NewGroup.
+func (rt *Runtime) NewGroupTraced(tid uint64) *Group { return &Group{rt: rt, tid: tid} }
+
 // Runtime returns the runtime this group divides on.
 func (g *Group) Runtime() *Runtime { return g.rt }
 
@@ -82,12 +91,12 @@ func (g *Group) Runtime() *Runtime { return g.rt }
 // false.
 func (g *Group) TryDivide(fn func()) bool {
 	g.probes.Add(1)
-	c, ok := g.rt.Probe()
+	c, ok := g.rt.probe(g.tid)
 	if !ok {
 		return false
 	}
 	g.granted.Add(1)
-	g.rt.spawnOn(c, fn, &g.wg)
+	g.rt.spawnOn(c, fn, &g.wg, g.tid)
 	return true
 }
 
@@ -99,6 +108,9 @@ func (g *Group) Divide(fn func()) bool {
 	}
 	g.inline.Add(1)
 	g.rt.stat().inlineRuns.Add(1)
+	if g.tid != 0 {
+		g.rt.tracer.Record(captrace.KDivideInline, g.tid, 0, 0, 0)
+	}
 	fn()
 	return false
 }

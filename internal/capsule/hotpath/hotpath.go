@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/capsule"
 	"repro/internal/capsule/baseline"
+	"repro/internal/captrace"
 )
 
 // A Case is one named hot-path benchmark, runnable by go test or
@@ -62,7 +63,7 @@ func Cases() []Case {
 			Case{"mutex/probe_granted" + suffix, mutexProbeGranted(m)},
 		)
 	}
-	return append(cases,
+	cases = append(cases,
 		Case{"atomic/probe_refused_serial", atomicProbeRefused(0)},
 		Case{"atomic/probe_refused_parallel_4x", atomicProbeRefused(4)},
 		Case{"atomic/try_divide_refused", atomicTryDivideRefused},
@@ -72,6 +73,17 @@ func Cases() []Case {
 		Case{"mutex/try_divide_refused", mutexTryDivideRefused},
 		Case{"mutex/divide_granted", mutexDivideGranted},
 	)
+	for _, tm := range []struct {
+		suffix string
+		mode   traceMode
+	}{{"_off", traceOff}, {"_armed", traceArmed}, {"_traced", traceTraced}} {
+		cases = append(cases,
+			Case{"trace/probe_granted_serial" + tm.suffix, traceProbeGranted(0, tm.mode)},
+			Case{"trace/probe_granted_parallel_4x" + tm.suffix, traceProbeGranted(4, tm.mode)},
+			Case{"trace/divide_granted" + tm.suffix, traceDivideGranted(tm.mode)},
+		)
+	}
+	return cases
 }
 
 // Find returns the named case for a go test wrapper.
@@ -281,4 +293,98 @@ func mutexDivideGranted(b *testing.B) {
 	}
 	b.StopTimer()
 	p.Join()
+}
+
+// ---- trace: captrace overhead on the canonical hot paths ----
+//
+// Each path is measured in the three states the serving tiers put the
+// runtime in:
+//
+//   - off:    Config.Tracer == nil — tracing disabled, the tracked
+//     "atomic/..." configuration;
+//   - armed:  tracer installed, request unsampled (trace ID 0) — the
+//     state every request is in when -trace is on, since per-request
+//     events are gated on a nonzero ID;
+//   - traced: tracer installed, nonzero trace ID — the sampled
+//     request's full cost: a 32-byte ring write per probe outcome, plus
+//     the handoff and death events for a granted divide.
+//
+// cmd/capstress folds each off/armed/traced triple into the report's
+// trace_overhead section, where CI budgets the armed overhead at ≤5%
+// and pins the off cases to their atomic twins (the disabled ~0%
+// check). All three states share one builder, so the only variable is
+// the tracer/ID wiring under test.
+
+// benchTID is the fixed trace identity the traced cases record under.
+const benchTID = 0x00c0ffee00c0ffee
+
+type traceMode int
+
+const (
+	traceOff traceMode = iota
+	traceArmed
+	traceTraced
+)
+
+func (m traceMode) tracer() *captrace.Tracer {
+	if m == traceOff {
+		return nil
+	}
+	return captrace.New(0, 0)
+}
+
+func (m traceMode) tid() uint64 {
+	if m == traceTraced {
+		return benchTID
+	}
+	return 0
+}
+
+// traceProbeGranted mirrors atomicProbeGranted (sharded pool, same
+// sizing) through ProbeTraced — which is exactly Probe when the mode's
+// trace ID is 0, so off and armed measure the identical call.
+func traceProbeGranted(par int, m traceMode) func(b *testing.B) {
+	return func(b *testing.B) {
+		rt := capsule.New(capsule.Config{Contexts: probers(par), Throttle: true, DeathWindow: benchWindow, Tracer: m.tracer()})
+		defer rt.Close()
+		tid := m.tid()
+		b.ReportAllocs()
+		b.ResetTimer()
+		if par == 0 {
+			for i := 0; i < b.N; i++ {
+				if c, ok := rt.ProbeTraced(tid); ok {
+					rt.Release(c)
+				}
+			}
+			return
+		}
+		b.SetParallelism(par)
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if c, ok := rt.ProbeTraced(tid); ok {
+					rt.Release(c)
+				}
+			}
+		})
+	}
+}
+
+// traceDivideGranted is atomicDivideGranted through a Group (the
+// serving tiers' divide scope), so the traced mode exercises the whole
+// per-division event chain: grant, worker handoff, death.
+func traceDivideGranted(m traceMode) func(b *testing.B) {
+	return func(b *testing.B) {
+		rt := capsule.New(capsule.Config{Contexts: divideContexts(), Throttle: false, Tracer: m.tracer()})
+		defer rt.Close()
+		g := rt.NewGroupTraced(m.tid())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for !g.TryDivide(nop) {
+				runtime.Gosched()
+			}
+		}
+		b.StopTimer()
+		g.Join()
+	}
 }

@@ -65,6 +65,32 @@ func BenchmarkMutexProbeRefusedParallel4x(b *testing.B) {
 func BenchmarkMutexTryDivideRefused(b *testing.B) { bench(b, "mutex/try_divide_refused") }
 func BenchmarkMutexDivideGranted(b *testing.B)    { bench(b, "mutex/divide_granted") }
 
+// The captrace overhead side (off = tracing disabled, armed = tracer on
+// but the request unsampled, traced = full per-event ring writes). The
+// traced cases double as -race coverage for concurrent ring writers on
+// the real probe path.
+func BenchmarkTraceProbeGrantedSerialOff(b *testing.B) {
+	bench(b, "trace/probe_granted_serial_off")
+}
+func BenchmarkTraceProbeGrantedSerialArmed(b *testing.B) {
+	bench(b, "trace/probe_granted_serial_armed")
+}
+func BenchmarkTraceProbeGrantedSerialTraced(b *testing.B) {
+	bench(b, "trace/probe_granted_serial_traced")
+}
+func BenchmarkTraceProbeGrantedParallel4xOff(b *testing.B) {
+	bench(b, "trace/probe_granted_parallel_4x_off")
+}
+func BenchmarkTraceProbeGrantedParallel4xArmed(b *testing.B) {
+	bench(b, "trace/probe_granted_parallel_4x_armed")
+}
+func BenchmarkTraceProbeGrantedParallel4xTraced(b *testing.B) {
+	bench(b, "trace/probe_granted_parallel_4x_traced")
+}
+func BenchmarkTraceDivideGrantedOff(b *testing.B)    { bench(b, "trace/divide_granted_off") }
+func BenchmarkTraceDivideGrantedArmed(b *testing.B)  { bench(b, "trace/divide_granted_armed") }
+func BenchmarkTraceDivideGrantedTraced(b *testing.B) { bench(b, "trace/divide_granted_traced") }
+
 // TestBaselineBehaves pins the foil to the old semantics, so the numbers
 // it produces keep meaning something: bounded pool, LIFO reuse, work runs
 // exactly once, Join covers spawns.

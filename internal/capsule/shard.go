@@ -125,17 +125,29 @@ func (p *shardedPool) popFrom(s *tokenShard) (int, bool) {
 // a local miss. It returns ok=false only after inspecting every shard —
 // the refusal semantics of the single stack, preserved.
 func (p *shardedPool) pop(hint int) (int, bool) {
+	id, _, ok := p.popScan(hint)
+	return id, ok
+}
+
+// popScan is pop with the walk distance exposed: steals is how many
+// shards beyond the home shard were inspected before the grant (0 = the
+// local hit, k-1 = the id came from the last shard of the sweep). A
+// refusal implies the full sweep came up empty. The distance feeds the
+// steal/local-hit shard counters and the KProbeGranted trace payload;
+// pop remains the distance-blind wrapper for callers that don't care
+// (Close's drain loop, the pool tests).
+func (p *shardedPool) popScan(hint int) (id, steals int, ok bool) {
 	k := len(p.shards)
 	s := hint
 	for i := 0; i < k; i++ {
 		if id, ok := p.popFrom(&p.shards[s]); ok {
-			return id, true
+			return id, i, true
 		}
 		if s++; s == k {
 			s = 0
 		}
 	}
-	return 0, false
+	return 0, k, false
 }
 
 // push returns id to the hinted shard, making it that shard's next pop.
@@ -172,22 +184,36 @@ func (p *shardedPool) free() int {
 	return int(n)
 }
 
-// statShard is one padded block of the Runtime's hot counters. Every
-// Probe/Release/death bumps the block picked by the caller's affinity
-// hint — the same hint that picks its pool shard — and Stats() sums the
-// blocks, so the counters scale exactly as the pool does and never
-// false-share across cores. The counter field set is one cache line; the
-// trailing pad keeps neighbouring blocks two lines apart.
-type statShard struct {
+// statHot is the live counter set of one stat block. localHits, steals
+// and fullSweeps expose the sharded pool's internal behaviour: grants
+// served by the home shard, grants that had to walk to another shard,
+// and refusals reached only after sweeping every shard — the three
+// numbers that say whether the shard count fits the offered load. They
+// double as the grant/empty-pool outcome counters (Granted and the
+// pool-empty share of NoCtxDenies are derived sums in Stats), so the
+// per-shard breakdown costs the hot path nothing over the plain
+// aggregates. closedDenies is the rare closed-runtime refusal, the only
+// no-context deny that happens without a sweep.
+type statHot struct {
 	probes         atomic.Uint64
-	granted        atomic.Uint64
-	noCtxDenies    atomic.Uint64
+	closedDenies   atomic.Uint64
 	throttleDenies atomic.Uint64
 	inlineRuns     atomic.Uint64
 	deaths         atomic.Uint64
 	totalWorkers   atomic.Uint64
 	lockAcquires   atomic.Uint64
-	_              [cacheLine]byte
+	localHits      atomic.Uint64
+	steals         atomic.Uint64
+	fullSweeps     atomic.Uint64
+}
+
+// statShard pads statHot to whole cache lines (two-line granularity,
+// derived from the real size like workerState), so every
+// Probe/Release/death bumps a block no other shard's core touches and
+// Stats()/ShardCounters() aggregate on read.
+type statShard struct {
+	statHot
+	_ [(2*cacheLine - unsafe.Sizeof(statHot{})%(2*cacheLine)) % (2 * cacheLine)]byte
 }
 
 // hint returns the calling goroutine's shard affinity in [0, k): a mixed

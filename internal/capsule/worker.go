@@ -6,6 +6,8 @@ import (
 	"sync/atomic"
 	"time"
 	"unsafe"
+
+	"repro/internal/captrace"
 )
 
 // Persistent per-context workers with a spin-then-park handoff. Each of
@@ -76,11 +78,25 @@ type job struct {
 // (or will be, on first schedule) spinning, channel send if it parked.
 // Non-blocking by construction either way — the caller holds the token,
 // so the slot is resettable only by us and the mailbox is empty.
+//
+// The handoff outcome (spin-hit vs park-wakeup) is the event the PR-5
+// bench argued about, so it is traced per request. tid must be read
+// before the handoff: the instant the job is visible the worker may run
+// it, release the token, and a new spawner may overwrite ctxTrace[id].
+// Quit sentinels (nil fn, sent by doClose) never read the — stale —
+// entry and are never traced.
 func (rt *Runtime) sendJob(id int, j job) {
+	var tid uint64
+	if j.fn != nil {
+		tid = rt.ctxTrace[id]
+	}
 	w := &rt.wstate[id]
 	if w.state.Load() == wsSpin {
 		w.slot = j
 		if w.state.CompareAndSwap(wsSpin, wsHanded) {
+			if tid != 0 {
+				rt.tracer.Record(captrace.KHandoff, tid, 0, captrace.HandoffSpin, uint32(id))
+			}
 			return
 		}
 		// The worker won the race and parked; the slot write is dead (a
@@ -89,6 +105,9 @@ func (rt *Runtime) sendJob(id int, j job) {
 		w.slot = job{}
 	}
 	rt.workers[id] <- j
+	if tid != 0 {
+		rt.tracer.Record(captrace.KHandoff, tid, 0, captrace.HandoffPark, uint32(id))
+	}
 }
 
 // waitForJob is the worker side of the handoff: spin on the slot for a

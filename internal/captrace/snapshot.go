@@ -1,0 +1,359 @@
+package captrace
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the tracer's read side plus the identity plumbing: the
+// Snapshot walk (validated slot copies, merged and time-ordered), the
+// Event JSON codec shared by the /debug/trace endpoints and the
+// captrace CLI, trace-ID generation/formatting, the per-request context
+// carrier the router uses to hand identity to its in-process local
+// tier, and the 1-in-N sampler for server-generated IDs.
+
+// Event is one decoded ring entry. A and B are per-Kind payloads (see
+// the Kind constants); Shard is the pool/stat shard the event describes
+// for runtime-tier kinds and 0 elsewhere. Source names the snapshot the
+// event came from once snapshots are merged ("" inside one process).
+type Event struct {
+	TS     int64
+	TID    uint64
+	Kind   Kind
+	Shard  uint8
+	A      uint16
+	B      uint32
+	Source string
+}
+
+// eventJSON is the wire shape: the trace ID as 16 hex digits (matching
+// the header), the kind by name (stable across builds).
+type eventJSON struct {
+	TS     int64  `json:"ts"`
+	ID     string `json:"id,omitempty"`
+	Kind   string `json:"kind"`
+	Shard  uint8  `json:"shard"`
+	A      uint16 `json:"a"`
+	B      uint32 `json:"b"`
+	Source string `json:"source,omitempty"`
+}
+
+// MarshalJSON encodes the event in the wire shape.
+func (e Event) MarshalJSON() ([]byte, error) {
+	j := eventJSON{TS: e.TS, Kind: e.Kind.String(), Shard: e.Shard, A: e.A, B: e.B, Source: e.Source}
+	if e.TID != 0 {
+		j.ID = FormatID(e.TID)
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON decodes the wire shape. Unknown kind names decode to
+// KNone rather than failing, so an older CLI can still render the rest
+// of a newer snapshot.
+func (e *Event) UnmarshalJSON(data []byte) error {
+	var j eventJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	*e = Event{TS: j.TS, Shard: j.Shard, A: j.A, B: j.B, Source: j.Source}
+	e.Kind, _ = KindFromString(j.Kind)
+	if j.ID != "" {
+		id, err := ParseID(j.ID)
+		if err != nil {
+			return err
+		}
+		e.TID = id
+	}
+	return nil
+}
+
+// Detail renders the per-kind payload for humans ("steal=2 ctx=7",
+// "deny=throttle", "backend=1 credits=16"). The waterfall printers in
+// capload and cmd/captrace share it so the two renderings agree.
+func (e Event) Detail() string {
+	switch e.Kind {
+	case KProbeGranted:
+		if e.A == 0 {
+			return fmt.Sprintf("shard=%d local-hit ctx=%d", e.Shard, e.B)
+		}
+		return fmt.Sprintf("shard=%d steal-dist=%d ctx=%d", e.Shard, e.A, e.B)
+	case KProbeDenied:
+		reason := "no_ctx"
+		switch e.A {
+		case DenyThrottle:
+			reason = "throttle"
+		case DenyClosed:
+			reason = "closed"
+		}
+		return fmt.Sprintf("shard=%d deny=%s", e.Shard, reason)
+	case KDivideInline:
+		return "ran inline on caller"
+	case KHandoff:
+		how := "spin-hit"
+		if e.A == HandoffPark {
+			how = "park-wakeup"
+		}
+		return fmt.Sprintf("%s ctx=%d", how, e.B)
+	case KDeath:
+		return fmt.Sprintf("ctx=%d", e.B)
+	case KThrottleOpen, KThrottleClose:
+		return ""
+	case KReqAdmit:
+		return fmt.Sprintf("queue-occupancy=%d", e.B)
+	case KReqShed:
+		return "queue full"
+	case KReqDegraded:
+		return "no headroom, sequential domain"
+	case KReqDone:
+		return fmt.Sprintf("status=%d dur=%s", e.A, time.Duration(e.B)*time.Microsecond)
+	case KRouteRecv:
+		return ""
+	case KRouteDispatch:
+		return fmt.Sprintf("backend=%d credits=%d", e.A, e.B)
+	case KRouteShed:
+		return fmt.Sprintf("backend=%d refused (503)", e.A)
+	case KRouteDeath:
+		return fmt.Sprintf("backend=%d failed", e.A)
+	case KRouteServed:
+		return fmt.Sprintf("backend=%d dur=%s", e.A, time.Duration(e.B)*time.Microsecond)
+	case KRouteFallback:
+		tier := "local-runtime"
+		if e.A == TierSequential {
+			tier = "sequential"
+		}
+		return fmt.Sprintf("tier=%s dur=%s", tier, time.Duration(e.B)*time.Microsecond)
+	}
+	return ""
+}
+
+// ShardInfo is one shard's occupancy accounting inside a Snapshot.
+type ShardInfo struct {
+	Written  uint64 `json:"written"`  // events ever claimed on this shard
+	Capacity int    `json:"capacity"` // ring size
+	Dropped  uint64 `json:"dropped"`  // overwritten before this snapshot: max(written-capacity, 0)
+	Skipped  uint64 `json:"skipped"`  // slots that failed validation during this walk
+}
+
+// Snapshot is one point-in-time read of a tracer, the JSON body served
+// by /debug/trace and ingested by cmd/captrace. Events are ascending by
+// timestamp.
+type Snapshot struct {
+	Source  string      `json:"source"`
+	TakenAt int64       `json:"taken_at"`
+	Shards  []ShardInfo `json:"shards"`
+	Events  []Event     `json:"events"`
+}
+
+// Snapshot copies out the most recent events without stopping writers:
+// each shard's ring is walked backwards from its write head, and every
+// slot is accepted only if its sequence header matches the expected
+// claim both before and after the payload copy — a slot overwritten
+// mid-walk is counted in Skipped, not returned. n > 0 caps the merged
+// result to the n most recent events; n <= 0 returns everything
+// resident. Safe on a nil Tracer (returns an empty snapshot).
+func (t *Tracer) Snapshot(source string, n int) Snapshot {
+	snap := Snapshot{Source: source, TakenAt: time.Now().UnixNano()}
+	if t == nil {
+		return snap
+	}
+	snap.Shards = make([]ShardInfo, len(t.shards))
+	size := uint64(t.mask + 1)
+	for si := range t.shards {
+		s := &t.shards[si]
+		head := s.seq.Load()
+		info := &snap.Shards[si]
+		info.Written = head
+		info.Capacity = int(size)
+		if head > size {
+			info.Dropped = head - size
+		}
+		resident := head
+		if resident > size {
+			resident = size
+		}
+		for k := uint64(0); k < resident; k++ {
+			i := head - 1 - k // claim index, newest first
+			sl := &s.ring[i&t.mask]
+			if sl.hdr.Load() != i+1 {
+				info.Skipped++
+				continue
+			}
+			ev := Event{
+				TS:     sl.ts.Load(),
+				TID:    sl.tid.Load(),
+				Source: source,
+			}
+			packed := sl.packed.Load()
+			if sl.hdr.Load() != i+1 { // overwritten mid-copy: discard
+				info.Skipped++
+				continue
+			}
+			ev.Kind = Kind(packed >> 56)
+			ev.Shard = uint8(packed >> 48)
+			ev.A = uint16(packed >> 32)
+			ev.B = uint32(packed)
+			snap.Events = append(snap.Events, ev)
+		}
+	}
+	sortEvents(snap.Events)
+	if n > 0 && len(snap.Events) > n {
+		snap.Events = append([]Event(nil), snap.Events[len(snap.Events)-n:]...)
+	}
+	return snap
+}
+
+// DecodeSnapshots reads one /debug/trace body: either a single Snapshot
+// object (capserve, a router with no co-process backends) or an array
+// of them (a router merging its spawned backends' rings into one
+// endpoint). Readers shouldn't care which topology produced the bytes,
+// so both shapes decode to the same []Snapshot.
+func DecodeSnapshots(r io.Reader) ([]Snapshot, error) {
+	dec := json.NewDecoder(r)
+	var raw json.RawMessage
+	if err := dec.Decode(&raw); err != nil {
+		return nil, err
+	}
+	if len(raw) > 0 && raw[0] == '[' {
+		var snaps []Snapshot
+		err := json.Unmarshal(raw, &snaps)
+		return snaps, err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return nil, err
+	}
+	return []Snapshot{snap}, nil
+}
+
+// MergeEvents flattens several snapshots (e.g. router + each backend)
+// into one ascending timeline. Wall-clock timestamps make same-host
+// cross-process ordering meaningful, which is all the smoke tests and
+// the CLI need.
+func MergeEvents(snaps ...Snapshot) []Event {
+	var all []Event
+	for _, s := range snaps {
+		all = append(all, s.Events...)
+	}
+	sortEvents(all)
+	return all
+}
+
+// sortEvents orders by timestamp, then stably by (source, kind) so
+// equal-timestamp events from one process keep a deterministic order.
+func sortEvents(evs []Event) {
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].TS != evs[j].TS {
+			return evs[i].TS < evs[j].TS
+		}
+		if evs[i].Source != evs[j].Source {
+			return evs[i].Source < evs[j].Source
+		}
+		return evs[i].Kind < evs[j].Kind
+	})
+}
+
+// Trace-ID generation: ids are random-looking, never zero, and unique
+// per process with overwhelming probability — a per-process random seed
+// walked by a counter through the splitmix64 finaliser. No coordination
+// between processes is needed; capload stamps most ids in practice.
+var (
+	idSeed    = newSeed()
+	idCounter atomic.Uint64
+)
+
+func newSeed() uint64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err == nil {
+		return binary.LittleEndian.Uint64(b[:])
+	}
+	return uint64(time.Now().UnixNano())
+}
+
+// NewID returns a fresh non-zero trace ID.
+func NewID() uint64 {
+	for {
+		if id := mix(idSeed + idCounter.Add(1)*0x9e3779b97f4a7c15); id != 0 {
+			return id
+		}
+	}
+}
+
+// FormatID renders a trace ID as the 16-hex-digit header value.
+func FormatID(id uint64) string {
+	return fmt.Sprintf("%016x", id)
+}
+
+// ParseID parses a header value produced by FormatID (any nonzero hex
+// uint64 is accepted; garbage and zero are rejected so a malformed
+// client header degrades to "untraced", never to a shared bucket).
+func ParseID(s string) (uint64, error) {
+	id, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("captrace: bad trace id %q: %v", s, err)
+	}
+	if id == 0 {
+		return 0, fmt.Errorf("captrace: zero trace id")
+	}
+	return id, nil
+}
+
+// Sampler makes the 1-in-N decision for tracing server-generated
+// request IDs (adopted IDs bypass it — whoever stamped the header
+// already decided). A nil Sampler never samples; n <= 1 always samples.
+// The counter is shared across goroutines: "every Nth admission", not
+// per-conn, so a steady load always yields exemplars.
+type Sampler struct {
+	n uint64
+	c atomic.Uint64
+}
+
+// NewSampler returns a 1-in-n sampler (n <= 1: always; see Sampler).
+func NewSampler(n int) *Sampler {
+	if n < 1 {
+		n = 1
+	}
+	return &Sampler{n: uint64(n)}
+}
+
+// Sample reports whether this request should be traced.
+func (s *Sampler) Sample() bool {
+	if s == nil {
+		return false
+	}
+	return s.c.Add(1)%s.n == 0
+}
+
+// Context plumbing: the router serves its local-fallback tier by
+// calling the in-process capserve handler directly, so the trace
+// identity travels in the request context instead of being re-derived
+// from headers (which would double-sample and could disagree).
+
+type ctxKey struct{}
+
+type ctxIdentity struct {
+	id     uint64
+	traced bool
+}
+
+// WithRequest returns a context carrying an already-decided trace
+// identity. traced=false with a nonzero id means "identified but not
+// sampled": the id still echoes on responses, but no events are
+// recorded for it.
+func WithRequest(ctx context.Context, id uint64, traced bool) context.Context {
+	return context.WithValue(ctx, ctxKey{}, ctxIdentity{id: id, traced: traced})
+}
+
+// RequestFrom extracts an identity placed by WithRequest; ok is false
+// when the context carries none and the callee should derive its own.
+func RequestFrom(ctx context.Context) (id uint64, traced, ok bool) {
+	v, ok := ctx.Value(ctxKey{}).(ctxIdentity)
+	return v.id, v.traced, ok
+}
