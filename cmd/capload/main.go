@@ -73,6 +73,8 @@ type options struct {
 	minTput     float64
 	maxFallback float64
 	minBackends int
+	sloP99      time.Duration
+	sloAvail    float64
 	jsonOut     bool
 	traceEvery  int
 }
@@ -109,6 +111,8 @@ func main() {
 	flag.Float64Var(&o.minTput, "min-throughput", 0, "exit 2 if 2xx throughput falls below this (req/s)")
 	flag.Float64Var(&o.maxFallback, "max-fallback-rate", -1, "router-aware: exit 2 if the run's local-fallback rate exceeds this (negative = no gate)")
 	flag.IntVar(&o.minBackends, "min-backends-hit", 0, "router-aware: exit 2 if fewer backends received a dispatch during the run")
+	flag.DurationVar(&o.sloP99, "slo-p99", 0, "SLO latency target: exit 2 if over 1% of the run's successes exceed it (0 = no SLO gate unless -slo-avail is set)")
+	flag.Float64Var(&o.sloAvail, "slo-avail", 0, "SLO availability objective in (0,1): exit 2 if the run's error ratio burns the whole budget (0 = no SLO gate unless -slo-p99 is set)")
 	flag.BoolVar(&o.jsonOut, "json", false, "emit a machine-readable JSON report")
 	flag.IntVar(&o.traceEvery, "trace", 0, "stamp a trace ID on every Nth request and print the p99 exemplar's waterfall from /debug/trace (0 = off)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the load generator to this file")
@@ -291,6 +295,95 @@ func main() {
 			}
 		}
 	}
+	// Server-side latency: the same histogram-pair delta arithmetic
+	// capwatch's rollups use (internal/promtext), applied to the run's
+	// before/after /metrics scrapes — so the report carries the server's
+	// own distribution next to the client-observed one, and the gap
+	// between them is the network plus queueing the client added.
+	if scrapesOK {
+		bBounds, bCum := promtext.HistogramBuckets(before, "capserve_request_duration_seconds")
+		aBounds, aCum := promtext.HistogramBuckets(after, "capserve_request_duration_seconds")
+		if aCum != nil && len(bBounds) == len(aBounds) {
+			for _, q := range []struct {
+				key string
+				q   float64
+			}{{"server_latency_p50_ms", 0.50}, {"server_latency_p95_ms", 0.95}, {"server_latency_p99_ms", 0.99}} {
+				if v, ok := promtext.DeltaQuantile(aBounds, bCum, aCum, q.q); ok {
+					report[q.key] = v * 1e3
+				}
+			}
+		}
+	}
+
+	// SLO verdict over the run window, client-side: the same burn-rate
+	// arithmetic capwatch applies on the server, judged from what the
+	// client actually experienced. Valid requests exclude client faults
+	// (4xx); errors are transport failures and 5xx. The latency SLI is
+	// judged over successes, target-p99 style: up to 1% may exceed the
+	// target before the budget burns at 1.
+	sloGate := o.sloP99 > 0 || o.sloAvail > 0
+	sloExhausted := false
+	var sloBurn float64
+	if sloGate {
+		target := o.sloP99
+		if target <= 0 {
+			target = 150 * time.Millisecond
+		}
+		objective := o.sloAvail
+		if objective <= 0 {
+			objective = 0.99
+		}
+		if objective > 0.9999 {
+			objective = 0.9999 // a run of finite requests cannot resolve tighter
+		}
+		var clientFaults, serverErrs int
+		for code, n := range byCode {
+			switch {
+			case code >= 400 && code < 500:
+				clientFaults += n
+			case code == 0 || code >= 500:
+				serverErrs += n
+			}
+		}
+		valid := len(results) - clientFaults
+		availability := 1.0
+		if valid > 0 {
+			availability = 1 - float64(serverErrs)/float64(valid)
+		}
+		over := 0
+		for _, l := range lats {
+			if l > target {
+				over++
+			}
+		}
+		fracOver := 0.0
+		if len(lats) > 0 {
+			fracOver = float64(over) / float64(len(lats))
+		}
+		availBurn, latBurn := 0.0, 0.0
+		if valid > 0 {
+			availBurn = (1 - availability) / (1 - objective)
+			latBurn = fracOver / 0.01
+		}
+		sloBurn = availBurn
+		if latBurn > sloBurn {
+			sloBurn = latBurn
+		}
+		sloExhausted = sloBurn >= 1
+		report["slo"] = map[string]any{
+			"target_p99_ms":          ms(target),
+			"availability_objective": objective,
+			"valid_requests":         valid,
+			"errors":                 serverErrs,
+			"availability":           availability,
+			"frac_over_target":       fracOver,
+			"availability_burn":      availBurn,
+			"latency_burn":           latBurn,
+			"burn_rate":              sloBurn,
+			"exhausted":              sloExhausted,
+		}
+	}
+
 	// Router awareness: a caprouter target exposes caprouter_* series;
 	// diff them into the cluster-scope report (remote grants, fallback
 	// rate, per-backend spread) the -max-fallback-rate and
@@ -390,6 +483,14 @@ func main() {
 		fmt.Printf("throughput: %.1f req/s (2xx)\n", tput)
 		fmt.Printf("latency: p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms\n",
 			ms(pct(lats, 0.50)), ms(pct(lats, 0.95)), ms(pct(lats, 0.99)), ms(pct(lats, 1)))
+		if p99, ok := report["server_latency_p99_ms"]; ok {
+			fmt.Printf("server latency (histogram delta): p50=%.2fms p95=%.2fms p99=%.2fms\n",
+				report["server_latency_p50_ms"], report["server_latency_p95_ms"], p99)
+		}
+		if s, ok := report["slo"].(map[string]any); ok {
+			fmt.Printf("slo: availability=%.4f (objective %.4g) frac-over-target=%.4f burn=%.2f exhausted=%v\n",
+				s["availability"], s["availability_objective"], s["frac_over_target"], s["burn_rate"], s["exhausted"])
+		}
 		if dp, ok := report["server_probes"]; ok {
 			line := fmt.Sprintf("server: Δprobes=%v Δgranted=%v", dp, report["server_granted"])
 			if gr, ok := report["server_grant_rate"]; ok {
@@ -470,6 +571,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "capload: only %d backends dispatched to, want >= %d\n", backendsHit, o.minBackends)
 			os.Exit(2)
 		}
+	}
+	if sloGate && sloExhausted {
+		flushProfiles()
+		fmt.Fprintf(os.Stderr, "capload: SLO budget exhausted: burn rate %.2f >= 1\n", sloBurn)
+		os.Exit(2)
 	}
 	if o.traceEvery > 0 && len(waterfall) == 0 {
 		// The IDs round-tripped (the requests succeeded) but no events

@@ -16,6 +16,7 @@
 //	caprouter -addr :8090 -spawn 3 -spawn-contexts 2 -policy rendezvous
 //	caprouter -addr :8090 -spawn 2 -credits 8 -fail-threshold 3 -fail-window 2s
 //	caprouter -addr :8090 -spawn 2 -trace          # route spans on /debug/trace
+//	caprouter -addr :8090 -spawn 3 -slo-p99 150ms  # fleet telemetry on /debug/watch
 //	caprouter -addr :8090 -debug-addr localhost:6061
 //
 // Shutdown is graceful: SIGINT/SIGTERM flips /healthz to 503 first, then
@@ -31,6 +32,7 @@ import (
 	"fmt"
 	"net/http"
 	_ "net/http/pprof" // registers on DefaultServeMux, served only on -debug-addr
+	"net/url"
 	"os"
 	"os/signal"
 	"strings"
@@ -41,6 +43,7 @@ import (
 	"repro/internal/capserve"
 	"repro/internal/capsule"
 	"repro/internal/captrace"
+	"repro/internal/capwatch"
 )
 
 func main() {
@@ -62,8 +65,22 @@ func main() {
 	trace := flag.Bool("trace", false, "record route spans (and spawned backends' lifecycles), served on /debug/trace")
 	traceBuf := flag.Int("trace-buf", 0, "trace ring slots per shard (0 = default)")
 	traceSample := flag.Int("trace-sample", 0, "trace 1 in N router-minted request IDs (0 = default)")
-	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = off)")
+	debugAddr := flag.String("debug-addr", "", "serve pprof, /debug/trace and /debug/watch on this separate address (empty = off)")
+	watch := flag.Bool("watch", true, "continuous telemetry samplers (router + spawned backends), served on /debug/watch")
+	watchInterval := flag.Duration("watch-interval", capwatch.DefaultInterval, "telemetry sampling tick")
+	watchRing := flag.Int("watch-ring", 0, "flight-recorder ring slots per sampler (0 = sized from the slow SLO window)")
+	sloP99 := flag.Duration("slo-p99", capwatch.DefaultTargetP99, "SLO latency target: windowed p99 must stay under this")
+	sloAvail := flag.Float64("slo-avail", capwatch.DefaultAvailability, "SLO availability objective (fraction of valid requests served)")
+	sloFast := flag.Duration("slo-fast", capwatch.DefaultFastWindow, "fast burn-rate window")
+	sloSlow := flag.Duration("slo-slow", capwatch.DefaultSlowWindow, "slow burn-rate window")
 	flag.Parse()
+
+	slo := capwatch.SLOConfig{
+		TargetP99:    *sloP99,
+		Availability: *sloAvail,
+		FastWindow:   *sloFast,
+		SlowWindow:   *sloSlow,
+	}
 
 	// One tracer serves the router span AND the local fallback tier, so
 	// a degraded request's route events and its local runtime events
@@ -85,6 +102,7 @@ func main() {
 	}
 	var spawned []*capserve.Backend
 	var traceLocals []capcluster.TraceSnapshotter
+	var backendSamplers []*capwatch.Sampler
 	for i := 0; i < *spawn; i++ {
 		var btr *captrace.Tracer
 		if *trace {
@@ -110,6 +128,32 @@ func main() {
 		spawned = append(spawned, b)
 		if *trace {
 			traceLocals = append(traceLocals, b.Server)
+		}
+		if *watch {
+			// One sampler per spawned backend, named by the backend's
+			// host:port — the same label the router's per-backend gauges
+			// use, so captop can join the two views. Wired now, before
+			// the URL reaches the router, so the backend's mux and
+			// /metrics never mutate under live scrapes.
+			u, err := url.Parse(b.URL)
+			if err != nil {
+				fail("spawn backend %d URL: %v", i, err)
+			}
+			bs, err := capwatch.New(capwatch.Config{
+				Source:   u.Host,
+				Interval: *watchInterval,
+				Ring:     *watchRing,
+				Runtime:  brt,
+				Server:   b.Server,
+				SLO:      slo,
+			})
+			if err != nil {
+				fail("spawn backend %d sampler: %v", i, err)
+			}
+			b.Server.Mount("GET /debug/watch", capwatch.Handler(bs))
+			b.Server.AddMetrics(bs.WriteMetrics)
+			bs.Start()
+			backendSamplers = append(backendSamplers, bs)
 		}
 		urls = append(urls, b.URL)
 		fmt.Printf("caprouter: spawned backend %d at %s (contexts=%d)\n", i, b.URL, *spawnContexts)
@@ -150,10 +194,46 @@ func main() {
 	}
 	router.Refresh() // learn real capacities before the first request
 
+	// The router's /debug/watch merges its own report with every spawned
+	// backend's, mirroring /debug/trace: only the router knows where an
+	// ephemeral spawned backend lives. Fronted backends (-backends) serve
+	// their own /debug/watch at their own URL.
+	var watchHandler http.Handler
+	if *watch {
+		routerSampler, err := capwatch.New(capwatch.Config{
+			Source:   "caprouter",
+			Interval: *watchInterval,
+			Ring:     *watchRing,
+			Runtime:  localRT,
+			Server:   local,
+			Router:   router,
+			SLO:      slo,
+		})
+		if err != nil {
+			fail("router sampler: %v", err)
+		}
+		watchHandler = capwatch.Handler(append([]*capwatch.Sampler{routerSampler}, backendSamplers...)...)
+		router.Mount("GET /debug/watch", watchHandler)
+		router.AddMetrics(routerSampler.WriteMetrics)
+		routerSampler.Start()
+		defer routerSampler.Stop()
+		defer func() {
+			for _, bs := range backendSamplers {
+				bs.Stop()
+			}
+		}()
+	}
+
 	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.Handle("/debug/pprof/", http.DefaultServeMux)
+		dmux.Handle("GET /debug/trace", router.TraceHandler())
+		if watchHandler != nil {
+			dmux.Handle("GET /debug/watch", watchHandler)
+		}
 		go func() {
-			fmt.Printf("caprouter: pprof on http://%s/debug/pprof/\n", *debugAddr)
-			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+			fmt.Printf("caprouter: pprof/trace/watch on http://%s/debug/\n", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, dmux); err != nil {
 				fmt.Fprintf(os.Stderr, "caprouter: debug listener: %v\n", err)
 			}
 		}()

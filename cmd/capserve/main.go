@@ -9,7 +9,8 @@
 //	capserve -addr :8080 -queue 32 -caps quicksort=65536,dijkstra=20000
 //	capserve -throttle=false -window 50us
 //	capserve -trace -trace-sample 16       # lifecycle tracing on /debug/trace
-//	capserve -debug-addr localhost:6060    # net/http/pprof on a side listener
+//	capserve -watch-interval 1s -slo-p99 150ms -slo-avail 0.99   # /debug/watch telemetry
+//	capserve -debug-addr localhost:6060    # pprof + /debug/trace + /debug/watch side listener
 //
 // Shutdown is graceful: SIGINT/SIGTERM flips /healthz to 503, stops the
 // listener, lets in-flight requests finish (up to -drain), joins the
@@ -33,6 +34,7 @@ import (
 	"repro/internal/capserve"
 	"repro/internal/capsule"
 	"repro/internal/captrace"
+	"repro/internal/capwatch"
 	"repro/internal/workloads"
 )
 
@@ -50,7 +52,14 @@ func main() {
 	traceBuf := flag.Int("trace-buf", 0, "trace ring slots per shard (0 = default)")
 	traceSample := flag.Int("trace-sample", 0, "trace 1 in N server-minted request IDs (0 = default)")
 	traceSource := flag.String("trace-source", "", "source name stamped on trace snapshots (default capserve)")
-	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = off)")
+	debugAddr := flag.String("debug-addr", "", "serve pprof, /debug/trace and /debug/watch on this separate address (empty = off)")
+	watch := flag.Bool("watch", true, "continuous telemetry sampler, served on /debug/watch")
+	watchInterval := flag.Duration("watch-interval", capwatch.DefaultInterval, "telemetry sampling tick")
+	watchRing := flag.Int("watch-ring", 0, "flight-recorder ring slots (0 = sized from the slow SLO window)")
+	sloP99 := flag.Duration("slo-p99", capwatch.DefaultTargetP99, "SLO latency target: windowed p99 must stay under this")
+	sloAvail := flag.Float64("slo-avail", capwatch.DefaultAvailability, "SLO availability objective (fraction of valid requests served)")
+	sloFast := flag.Duration("slo-fast", capwatch.DefaultFastWindow, "fast burn-rate window")
+	sloSlow := flag.Duration("slo-slow", capwatch.DefaultSlowWindow, "slow burn-rate window")
 	flag.Parse()
 
 	var tracer *captrace.Tracer
@@ -83,13 +92,49 @@ func main() {
 		fail("%v", err)
 	}
 
+	var sampler *capwatch.Sampler
+	if *watch {
+		source := *traceSource
+		if source == "" {
+			source = "capserve"
+		}
+		sampler, err = capwatch.New(capwatch.Config{
+			Source:   source,
+			Interval: *watchInterval,
+			Ring:     *watchRing,
+			Runtime:  rt,
+			Server:   srv,
+			SLO: capwatch.SLOConfig{
+				TargetP99:    *sloP99,
+				Availability: *sloAvail,
+				FastWindow:   *sloFast,
+				SlowWindow:   *sloSlow,
+			},
+		})
+		if err != nil {
+			fail("%v", err)
+		}
+		srv.Mount("GET /debug/watch", capwatch.Handler(sampler))
+		srv.AddMetrics(sampler.WriteMetrics)
+		sampler.Start()
+		defer sampler.Stop()
+	}
+
 	if *debugAddr != "" {
-		// pprof rides the DefaultServeMux (the blank net/http/pprof
-		// import), on its own listener so profiling traffic never
-		// competes with serving traffic for the accept queue.
+		// The debug side listener carries everything operational that is
+		// not serving traffic, so profiling and telemetry scrapes never
+		// compete with requests for the accept queue: pprof (riding the
+		// DefaultServeMux via the blank net/http/pprof import), the
+		// lifecycle trace snapshot, and the telemetry flight recorder.
+		dmux := http.NewServeMux()
+		dmux.Handle("/debug/pprof/", http.DefaultServeMux)
+		dmux.Handle("GET /debug/trace", srv.TraceHandler())
+		if sampler != nil {
+			dmux.Handle("GET /debug/watch", capwatch.Handler(sampler))
+		}
 		go func() {
-			fmt.Printf("capserve: pprof on http://%s/debug/pprof/\n", *debugAddr)
-			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+			fmt.Printf("capserve: pprof/trace/watch on http://%s/debug/\n", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, dmux); err != nil {
 				fmt.Fprintf(os.Stderr, "capserve: debug listener: %v\n", err)
 			}
 		}()

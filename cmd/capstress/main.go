@@ -6,7 +6,12 @@
 // the grant rate, and an in-process capserve closed loop for serving
 // throughput. The suite's "trace/..." triples re-measure the captrace
 // budget every run: tracing armed must cost ≤5% on the canonical paths
-// and disabled ~0% (the trace_overhead section, gated in CI).
+// and disabled ~0% (the trace_overhead section, gated in CI). The
+// "watch/..." pairs do the same for the capwatch telemetry sampler —
+// armed at its production tick, budgeted at ≤2% (watch_overhead) — and
+// the serving measurement runs with a sampler armed, recording its SLO
+// verdict (the slo block) so the burn-rate evaluator's output is part
+// of the tracked trajectory.
 //
 // It also runs a cluster scenario: three in-process capserve backends
 // behind a capcluster router, one killed at halftime — the tracked
@@ -41,6 +46,7 @@ import (
 	"repro/internal/capserve"
 	"repro/internal/capsule"
 	"repro/internal/capsule/hotpath"
+	"repro/internal/capwatch"
 	"repro/internal/httptune"
 )
 
@@ -90,6 +96,13 @@ type report struct {
 	// "disabled ~0%" check.
 	TraceOverhead map[string]traceOverheadResult `json:"trace_overhead,omitempty"`
 
+	// WatchOverhead folds the "watch/..." case pairs into per-path
+	// capwatch budgets: armed is what the hot path pays with the
+	// telemetry sampler ticking at its production interval (budgeted at
+	// ≤2% in CI — the sampler is a pure reader, so the cost is cache
+	// traffic, not contention).
+	WatchOverhead map[string]watchOverheadResult `json:"watch_overhead,omitempty"`
+
 	Storm   *stormResult   `json:"storm,omitempty"`
 	Serve   *serveResult   `json:"serve,omitempty"`
 	Cluster *clusterResult `json:"cluster,omitempty"`
@@ -102,6 +115,13 @@ type traceOverheadResult struct {
 	TracedNsPerOp     float64 `json:"traced_ns_per_op"`
 	ArmedOverheadPct  float64 `json:"armed_overhead_pct"`
 	TracedOverheadPct float64 `json:"traced_overhead_pct"`
+}
+
+// watchOverheadResult is one hot path's off/armed sampler comparison.
+type watchOverheadResult struct {
+	OffNsPerOp       float64 `json:"off_ns_per_op"`
+	ArmedNsPerOp     float64 `json:"armed_ns_per_op"`
+	ArmedOverheadPct float64 `json:"armed_overhead_pct"`
 }
 
 type stormResult struct {
@@ -121,6 +141,22 @@ type serveResult struct {
 	Errors    int     `json:"errors"`
 	RPS       float64 `json:"rps"`
 	DurationS float64 `json:"duration_s"`
+
+	// SLO is the armed capwatch sampler's burn-rate verdict over the
+	// serving run, so the evaluator's output is itself a tracked number.
+	SLO *sloBlock `json:"slo,omitempty"`
+}
+
+// sloBlock is the serve scenario's SLO verdict, distilled from the
+// sampler's fast window (sized to the run).
+type sloBlock struct {
+	TargetP99MS    float64 `json:"target_p99_ms"`
+	Objective      float64 `json:"availability_objective"`
+	Availability   float64 `json:"availability"`
+	P99MS          float64 `json:"p99_ms"`
+	FracOverTarget float64 `json:"frac_over_target"`
+	BurnRate       float64 `json:"burn_rate"`
+	Exhausted      bool    `json:"exhausted"`
 }
 
 // clusterResult is the cluster scenario's tracked numbers: probe/divide
@@ -180,27 +216,28 @@ func main() {
 		r.Results[name] = cr
 		return cr
 	}
-	var traceCases []hotpath.Case
+	var overheadCases []hotpath.Case
 	for _, c := range hotpath.Cases() {
-		if strings.HasPrefix(c.Name, "trace/") {
-			traceCases = append(traceCases, c)
+		if strings.HasPrefix(c.Name, "trace/") || strings.HasPrefix(c.Name, "watch/") {
+			overheadCases = append(overheadCases, c)
 			continue
 		}
 		cr := record(c.Name, testing.Benchmark(c.Bench))
 		fmt.Printf("%-36s %12.1f ns/op %6d allocs/op %6d B/op\n", c.Name, cr.NsPerOp, cr.AllocsPerOp, cr.BytesPerOp)
 	}
-	// The trace_overhead budget divides pairs of the trace/* cases at
-	// single-digit-percent resolution, so they are measured round-robin
-	// — three rounds over the whole family, keeping each case's fastest
-	// run. Adjacent pairing plus a min estimate cancels the slow drift
-	// of a shared runner, which back-to-back per-case repeats would fold
-	// straight into the ratio and misread as tracer cost.
+	// The trace_overhead and watch_overhead budgets divide pairs of the
+	// trace/* and watch/* cases at single-digit-percent resolution, so
+	// they are measured round-robin — three rounds over the whole family,
+	// keeping each case's fastest run. Adjacent pairing plus a min
+	// estimate cancels the slow drift of a shared runner, which
+	// back-to-back per-case repeats would fold straight into the ratio
+	// and misread as tracer/sampler cost.
 	for round := 0; round < 3; round++ {
-		for _, c := range traceCases {
+		for _, c := range overheadCases {
 			record(c.Name, testing.Benchmark(c.Bench))
 		}
 	}
-	for _, c := range traceCases {
+	for _, c := range overheadCases {
 		cr := r.Results[c.Name]
 		fmt.Printf("%-36s %12.1f ns/op %6d allocs/op %6d B/op\n", c.Name, cr.NsPerOp, cr.AllocsPerOp, cr.BytesPerOp)
 	}
@@ -236,6 +273,22 @@ func main() {
 		fmt.Printf("trace overhead %-28s armed %+6.1f%%  traced %+6.1f%%\n", path, to.ArmedOverheadPct, to.TracedOverheadPct)
 	}
 
+	r.WatchOverhead = map[string]watchOverheadResult{}
+	for _, path := range []string{"probe_granted_serial", "probe_granted_parallel_4x", "divide_granted"} {
+		off := r.Results["watch/"+path+"_off"]
+		armed := r.Results["watch/"+path+"_armed"]
+		if off.NsPerOp <= 0 {
+			continue
+		}
+		wo := watchOverheadResult{
+			OffNsPerOp:       off.NsPerOp,
+			ArmedNsPerOp:     armed.NsPerOp,
+			ArmedOverheadPct: 100 * (armed.NsPerOp/off.NsPerOp - 1),
+		}
+		r.WatchOverhead[path] = wo
+		fmt.Printf("watch overhead %-28s armed %+6.1f%%\n", path, wo.ArmedOverheadPct)
+	}
+
 	r.Storm = divideStorm(*stormDur)
 	fmt.Printf("storm: %d goroutines on %d contexts: %d probes, grant rate %.3f\n",
 		r.Storm.Goroutines, r.Storm.Contexts, r.Storm.Probes, r.Storm.GrantRate)
@@ -248,6 +301,10 @@ func main() {
 		r.Serve = s
 		fmt.Printf("capserve: %d clients x %s on %s n=%d: %.1f req/s (%d requests, %d errors)\n",
 			s.Clients, serveDur, s.Workload, s.N, s.RPS, s.Requests, s.Errors)
+		if s.SLO != nil {
+			fmt.Printf("capserve slo: availability=%.4f p99=%.2fms burn=%.2f exhausted=%v\n",
+				s.SLO.Availability, s.SLO.P99MS, s.SLO.BurnRate, s.SLO.Exhausted)
+		}
 	}
 
 	if *cluster {
@@ -322,6 +379,20 @@ func serveLoop(d time.Duration, n int) (*serveResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Sampler armed for the whole run, windows scaled to the measurement:
+	// the fast window covers the run, so its burn verdict judges all of
+	// it. Manual closing tick rather than waiting out the 1s ticker.
+	sampler, err := capwatch.New(capwatch.Config{
+		Source:  "capstress-serve",
+		Runtime: rt,
+		Server:  srv,
+		SLO:     capwatch.SLOConfig{FastWindow: d, SlowWindow: 2 * d},
+	})
+	if err != nil {
+		return nil, err
+	}
+	sampler.Start()
+	defer sampler.Stop()
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
@@ -358,6 +429,8 @@ func serveLoop(d time.Duration, n int) (*serveResult, error) {
 	wg.Wait()
 	elapsed := time.Since(start)
 	rt.Join()
+	sampler.SampleNow() // closing tick: the SLO window must include the run's tail
+	slo := sampler.Report(0).SLO
 	return &serveResult{
 		Workload:  "quicksort",
 		N:         n,
@@ -366,6 +439,15 @@ func serveLoop(d time.Duration, n int) (*serveResult, error) {
 		Errors:    int(errors.Load()),
 		RPS:       float64(requests.Load()) / elapsed.Seconds(),
 		DurationS: elapsed.Seconds(),
+		SLO: &sloBlock{
+			TargetP99MS:    slo.TargetP99MS,
+			Objective:      slo.Availability,
+			Availability:   slo.Fast.Availability,
+			P99MS:          slo.Fast.P99MS,
+			FracOverTarget: slo.Fast.FracOverTarget,
+			BurnRate:       slo.BurnRate,
+			Exhausted:      slo.Exhausted,
+		},
 	}, nil
 }
 

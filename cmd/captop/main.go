@@ -1,0 +1,156 @@
+// Command captop is the live fleet dashboard: it polls a capserve or
+// caprouter /debug/watch endpoint and renders one row per report — the
+// router first, then every backend it fronts — with the windowed rates,
+// latency quantiles and SLO burn each sampler computed server-side.
+// Backend rows are joined with the router report's per-backend table
+// (same host:port label), so credits, inflight and breaker state appear
+// next to the backend's own grant rate and p99.
+//
+// Usage:
+//
+//	captop -url http://localhost:8090              # live, redraws every -interval
+//	captop -url http://localhost:8090 -window 30s
+//	captop -url http://localhost:6060 -once        # one frame, then exit
+//	captop -url http://localhost:8090 -once -json  # machine-readable report array
+//
+// In -json mode the output is the decoded report array exactly as the
+// fleet produced it (always an array, even for a lone capserve), which
+// is what the CI watch-smoke step asserts against.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/capwatch"
+)
+
+func main() {
+	base := flag.String("url", "http://localhost:8090", "capserve or caprouter base URL (its /debug/watch is polled)")
+	interval := flag.Duration("interval", 2*time.Second, "poll/redraw interval")
+	window := flag.Duration("window", time.Minute, "rollup window requested from the fleet")
+	once := flag.Bool("once", false, "render a single frame and exit")
+	asJSON := flag.Bool("json", false, "emit the raw report array as JSON (implies no screen handling)")
+	flag.Parse()
+
+	endpoint := strings.TrimRight(*base, "/") + "/debug/watch?window=" + window.String()
+
+	for {
+		reps, err := fetch(endpoint)
+		if err != nil {
+			if *once {
+				fail("%v", err)
+			}
+			fmt.Fprintf(os.Stderr, "captop: %v\n", err)
+		} else if *asJSON {
+			// Re-encode rather than echoing the body: the output is the
+			// normalized array shape regardless of fleet size.
+			out, err := capwatch.EncodeReports(reps)
+			if err != nil {
+				fail("%v", err)
+			}
+			os.Stdout.Write(out)
+			fmt.Println()
+		} else {
+			if !*once {
+				fmt.Print("\x1b[H\x1b[2J") // home + clear: redraw in place
+			}
+			render(os.Stdout, endpoint, reps)
+		}
+		if *once {
+			return
+		}
+		time.Sleep(*interval)
+	}
+}
+
+func fetch(url string) ([]capwatch.Report, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != 200 {
+		return nil, fmt.Errorf("GET %s: %d: %s", url, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	reps, err := capwatch.DecodeReports(body)
+	if err != nil {
+		return nil, fmt.Errorf("GET %s: %v", url, err)
+	}
+	if len(reps) == 0 {
+		return nil, fmt.Errorf("GET %s: empty report set", url)
+	}
+	return reps, nil
+}
+
+func render(w io.Writer, endpoint string, reps []capwatch.Report) {
+	lead := reps[0]
+	fmt.Fprintf(w, "captop  %s  %s\n", endpoint, time.UnixMilli(lead.NowUnixMS).Format("15:04:05"))
+	fmt.Fprintf(w, "%s %s  go %s  gomaxprocs %d  |  slo: p99<%gms avail>=%.4g  fast %gs / slow %gs\n",
+		lead.Source, lead.Build.Version, lead.Build.Go, lead.Build.MaxProcs,
+		lead.SLO.TargetP99MS, lead.SLO.Availability, lead.SLO.Fast.WindowS, lead.SLO.Slow.WindowS)
+	fmt.Fprintf(w, "window %gs (actual %.0fs, %d samples)  interval %gs  goroutines %d  heap %s\n\n",
+		lead.WindowS, lead.WindowActualS, lead.WindowSamples, lead.IntervalS,
+		lead.Go.Goroutines, mb(lead.Go.HeapLiveBytes))
+
+	// The router report's backend table, for joining credits/breaker
+	// state onto the backend rows (keyed by the shared host:port label).
+	type gauge struct {
+		credits, inflight int
+		broken            bool
+		known             bool
+	}
+	gauges := map[string]gauge{}
+	for _, br := range lead.Backends {
+		gauges[br.Name] = gauge{credits: br.Credits, inflight: br.Inflight, broken: br.Broken, known: true}
+	}
+
+	const hdr = "%-22s %-7s %8s %7s %6s %8s %4s %9s %7s %7s\n"
+	const row = "%-22s %-7s %8.1f %6.1f%% %6s %8s %4s %9.2f %6.2f%% %7.2f\n"
+	fmt.Fprintf(w, hdr, "SOURCE", "TIER", "REQ/S", "GRANT", "QUEUE", "CREDITS", "BRK", "P99(MS)", "AVAIL", "BURN")
+	for _, r := range reps {
+		queue := fmt.Sprintf("%d/%d", r.QueueOccupancy, r.QueueDepth)
+		credits, brk := "-", "-"
+		if g, ok := gauges[r.Source]; ok && g.known {
+			credits = fmt.Sprintf("%d(%d)", g.credits, g.inflight)
+			if g.broken {
+				brk = "OPEN"
+			} else {
+				brk = "ok"
+			}
+		}
+		burn := r.SLO.BurnRate
+		marker := ""
+		if r.SLO.Exhausted {
+			marker = " !!"
+		}
+		fmt.Fprintf(w, row,
+			r.Source+marker, r.Tier, r.Rates.RequestsPerSec, 100*r.Rates.GrantRate,
+			queue, credits, brk, r.Latency.P99MS, 100*r.Rates.Availability, burn)
+	}
+
+	if lead.Router != nil {
+		rt := lead.Router
+		fmt.Fprintf(w, "\nrouter tiers: remote %.1f/s  local %.1f/s  sequential %.1f/s  client-gone %.1f/s  remote-grant %.1f%%\n",
+			rt.TierRemotePerSec, rt.TierLocalPerSec, rt.TierSequentialPerSec,
+			rt.ClientGonePerSec, 100*rt.RemoteGrantRate)
+	}
+}
+
+func mb(b uint64) string {
+	return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "captop: "+format+"\n", args...)
+	os.Exit(1)
+}

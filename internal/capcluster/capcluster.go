@@ -229,6 +229,10 @@ type Router struct {
 	tierRemote       atomic.Uint64 // dispatched to a backend
 	tierLocalRuntime atomic.Uint64 // local fallback, divisions offered
 	tierSequential   atomic.Uint64 // local fallback, degraded to sequential
+
+	// extraMetrics are appended to /metrics after the router's own
+	// series (AddMetrics) — capwatch's hook into the exposition.
+	extraMetrics []func(io.Writer)
 }
 
 // New builds a Router from cfg, applying defaults for zero fields.

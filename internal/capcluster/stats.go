@@ -5,6 +5,8 @@ import (
 	"io"
 	"net/http"
 	"time"
+
+	"repro/internal/buildinfo"
 )
 
 // Stats is a snapshot of the router's cluster-scope counters: the
@@ -181,8 +183,16 @@ func (r *Router) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "caprouter_fallback_tier_total{tier=\"local_runtime\"} %d\n", r.tierLocalRuntime.Load())
 	fmt.Fprintf(w, "caprouter_fallback_tier_total{tier=\"sequential\"} %d\n", r.tierSequential.Load())
 
+	bi := buildinfo.Get()
+	fmt.Fprintf(w, "# HELP caprouter_build_info Build metadata; the value is always 1.\n# TYPE caprouter_build_info gauge\n")
+	fmt.Fprintf(w, "caprouter_build_info{version=%q,go=%q,gomaxprocs=\"%d\"} 1\n", bi.Version, bi.Go, bi.MaxProcs)
+
 	// The local tier's own exposition (capsule_* and capserve_* series):
 	// the same names a standalone capserve exports, because that is
 	// exactly what the fallback tier is.
 	r.local.WriteMetrics(w)
+
+	for _, f := range r.extraMetrics {
+		f(w)
+	}
 }

@@ -26,6 +26,7 @@ package capserve
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"sync/atomic"
@@ -158,6 +159,11 @@ type Server struct {
 
 	shed     atomic.Uint64
 	notFound atomic.Uint64
+
+	// extraMetrics are appended to /metrics after the server's own
+	// series (AddMetrics) — how capwatch's capwatch_* series join the
+	// exposition without capserve importing the sampler.
+	extraMetrics []func(io.Writer)
 }
 
 // New builds a Server from cfg.

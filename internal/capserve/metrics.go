@@ -5,6 +5,8 @@ import (
 	"io"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/buildinfo"
 )
 
 // Hand-rolled Prometheus text exposition (format version 0.0.4). The
@@ -187,5 +189,13 @@ func (s *Server) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "# TYPE capserve_request_duration_seconds histogram\n")
 	for _, wl := range s.workloads {
 		s.eps[wl].latency.Write(w, "capserve_request_duration_seconds", fmt.Sprintf("workload=%q", wl))
+	}
+
+	bi := buildinfo.Get()
+	fmt.Fprintf(w, "# HELP capserve_build_info Build metadata; the value is always 1.\n# TYPE capserve_build_info gauge\n")
+	fmt.Fprintf(w, "capserve_build_info{version=%q,go=%q,gomaxprocs=\"%d\"} 1\n", bi.Version, bi.Go, bi.MaxProcs)
+
+	for _, f := range s.extraMetrics {
+		f(w)
 	}
 }

@@ -677,19 +677,34 @@ type ShardCounters struct {
 // probers took from elsewhere, not tokens taken from it.
 func (rt *Runtime) ShardCounterSnapshot() []ShardCounters {
 	out := make([]ShardCounters, rt.nshards)
-	for i := range out {
+	rt.ReadShardCounters(out)
+	return out
+}
+
+// ReadShardCounters fills dst with up to nshards shards' counters in
+// shard order and returns the runtime's shard count (which may exceed
+// len(dst)). It is the allocation-free variant of ShardCounterSnapshot
+// for periodic samplers (capwatch) that re-read the counters every tick
+// into a preallocated slot: call once with nil to size the buffer, then
+// reuse it forever.
+func (rt *Runtime) ReadShardCounters(dst []ShardCounters) int {
+	n := rt.nshards
+	if n > len(dst) {
+		n = len(dst)
+	}
+	for i := 0; i < n; i++ {
 		st := &rt.stats[i]
-		out[i] = ShardCounters{
+		dst[i] = ShardCounters{
 			LocalHits:  st.localHits.Load(),
 			Steals:     st.steals.Load(),
 			FullSweeps: st.fullSweeps.Load(),
 			Free:       int(rt.pool.shards[i].free.Load()),
 		}
-		if out[i].Free < 0 {
-			out[i].Free = 0
+		if dst[i].Free < 0 {
+			dst[i].Free = 0
 		}
 	}
-	return out
+	return rt.nshards
 }
 
 // Tracer returns the tracer this runtime records into (nil when

@@ -28,6 +28,7 @@ import (
 	"repro/internal/capsule"
 	"repro/internal/capsule/baseline"
 	"repro/internal/captrace"
+	"repro/internal/capwatch"
 )
 
 // A Case is one named hot-path benchmark, runnable by go test or
@@ -81,6 +82,17 @@ func Cases() []Case {
 			Case{"trace/probe_granted_serial" + tm.suffix, traceProbeGranted(0, tm.mode)},
 			Case{"trace/probe_granted_parallel_4x" + tm.suffix, traceProbeGranted(4, tm.mode)},
 			Case{"trace/divide_granted" + tm.suffix, traceDivideGranted(tm.mode)},
+		)
+	}
+	for _, armed := range []bool{false, true} {
+		suffix := "_off"
+		if armed {
+			suffix = "_armed"
+		}
+		cases = append(cases,
+			Case{"watch/probe_granted_serial" + suffix, watchProbeGranted(0, armed)},
+			Case{"watch/probe_granted_parallel_4x" + suffix, watchProbeGranted(4, armed)},
+			Case{"watch/divide_granted" + suffix, watchDivideGranted(armed)},
 		)
 	}
 	return cases
@@ -386,5 +398,101 @@ func traceDivideGranted(m traceMode) func(b *testing.B) {
 		}
 		b.StopTimer()
 		g.Join()
+	}
+}
+
+// ---- watch: capwatch sampler overhead on the canonical hot paths ----
+//
+// The capwatch sampler is a pure reader: the probe/divide hot paths
+// never touch it, so an armed sampler's only cost to them is the cache
+// traffic of its once-per-tick sweep over the per-shard counters. Each
+// path is measured with an inert 1s ticker (off) and with a sampler
+// armed at the production DefaultInterval tick. The off case carries
+// the ticker as an experimental control: on a single-P runtime, any
+// pending timer taxes every pass through the scheduler — which the
+// divide hand-off takes once per op — and a bare time.Ticker alone
+// measures +15% on divide_granted at GOMAXPROCS=1. Every real
+// deployment already owns such timers (HTTP server deadlines, the
+// breaker windows), so the pair deliberately prices the sampler's own
+// work, not the runtime's timer tax. cmd/capstress folds the pairs
+// into the report's watch_overhead section, where CI budgets the armed
+// overhead at ≤2% on the probe paths (≤5% on divide, whose
+// scheduler-bound hand-off has a ±3% pair-noise floor) and separately
+// pins the off case against the ticker-free atomic twins.
+
+// watchSampler arms a live sampler over rt at the production tick, or —
+// for the off control — an inert ticker at the same period. The
+// returned stop func is the benchmark teardown.
+func watchSampler(rt *capsule.Runtime, armed bool) (stop func()) {
+	if !armed {
+		t := time.NewTicker(capwatch.DefaultInterval)
+		done := make(chan struct{})
+		go func() {
+			for {
+				select {
+				case <-t.C:
+				case <-done:
+					return
+				}
+			}
+		}()
+		return func() {
+			t.Stop()
+			close(done)
+		}
+	}
+	s, err := capwatch.New(capwatch.Config{Runtime: rt})
+	if err != nil {
+		panic(err)
+	}
+	s.Start()
+	return s.Stop
+}
+
+// watchProbeGranted mirrors atomicProbeGranted (sharded pool, same
+// sizing) with a capwatch sampler ticking beside it.
+func watchProbeGranted(par int, armed bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		rt := capsule.New(capsule.Config{Contexts: probers(par), Throttle: true, DeathWindow: benchWindow})
+		defer rt.Close()
+		stop := watchSampler(rt, armed)
+		defer stop()
+		b.ReportAllocs()
+		b.ResetTimer()
+		if par == 0 {
+			for i := 0; i < b.N; i++ {
+				if c, ok := rt.Probe(); ok {
+					rt.Release(c)
+				}
+			}
+			return
+		}
+		b.SetParallelism(par)
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if c, ok := rt.Probe(); ok {
+					rt.Release(c)
+				}
+			}
+		})
+	}
+}
+
+// watchDivideGranted is atomicDivideGranted with a sampler armed.
+func watchDivideGranted(armed bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		rt := capsule.New(capsule.Config{Contexts: divideContexts(), Throttle: false})
+		defer rt.Close()
+		stop := watchSampler(rt, armed)
+		defer stop()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for !rt.TryDivide(nop) {
+				runtime.Gosched()
+			}
+		}
+		b.StopTimer()
+		rt.Join()
 	}
 }

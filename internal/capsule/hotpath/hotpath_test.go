@@ -91,6 +91,25 @@ func BenchmarkTraceDivideGrantedOff(b *testing.B)    { bench(b, "trace/divide_gr
 func BenchmarkTraceDivideGrantedArmed(b *testing.B)  { bench(b, "trace/divide_granted_armed") }
 func BenchmarkTraceDivideGrantedTraced(b *testing.B) { bench(b, "trace/divide_granted_traced") }
 
+// The capwatch overhead side (off = no sampler, armed = sampler ticking
+// at the production interval beside the hot path). The armed cases
+// double as -race coverage for the sampler's counter sweep racing the
+// live probe/divide paths.
+func BenchmarkWatchProbeGrantedSerialOff(b *testing.B) {
+	bench(b, "watch/probe_granted_serial_off")
+}
+func BenchmarkWatchProbeGrantedSerialArmed(b *testing.B) {
+	bench(b, "watch/probe_granted_serial_armed")
+}
+func BenchmarkWatchProbeGrantedParallel4xOff(b *testing.B) {
+	bench(b, "watch/probe_granted_parallel_4x_off")
+}
+func BenchmarkWatchProbeGrantedParallel4xArmed(b *testing.B) {
+	bench(b, "watch/probe_granted_parallel_4x_armed")
+}
+func BenchmarkWatchDivideGrantedOff(b *testing.B)   { bench(b, "watch/divide_granted_off") }
+func BenchmarkWatchDivideGrantedArmed(b *testing.B) { bench(b, "watch/divide_granted_armed") }
+
 // TestBaselineBehaves pins the foil to the old semantics, so the numbers
 // it produces keep meaning something: bounded pool, LIFO reuse, work runs
 // exactly once, Join covers spawns.

@@ -1,0 +1,107 @@
+package capwatch
+
+import (
+	"math"
+	"runtime/metrics"
+)
+
+// Go runtime health via runtime/metrics, the sampler's fourth signal
+// source: a division storm that looks fine from the capsule counters
+// can still be drowning the scheduler or the GC, and those pathologies
+// show up here first (sched latencies climb before queue occupancy
+// does — the workers are runnable but not running).
+
+// GoStats is the runtime slice of one snapshot. The p99s are computed
+// from the runtime's *cumulative* since-process-start histograms at
+// collect time — scalar per tick, because the runtime's bucket tables
+// run to hundreds of entries and storing them per slot would dominate
+// the ring. They move slowly by construction; treat them as health
+// gauges, not windowed quantiles.
+type GoStats struct {
+	Goroutines    int64   `json:"goroutines"`
+	HeapLiveBytes uint64  `json:"heap_live_bytes"`
+	GCCycles      uint64  `json:"gc_cycles"`
+	GCPauseP99NS  float64 `json:"gc_pause_p99_ns"`
+	SchedLatP99NS float64 `json:"sched_lat_p99_ns"`
+}
+
+// Indices into rmReader.samples; keep in step with rmNames.
+const (
+	rmGCPauses = iota
+	rmSchedLat
+	rmGoroutines
+	rmHeapLive
+	rmGCCycles
+)
+
+var rmNames = []string{
+	"/gc/pauses:seconds",
+	"/sched/latencies:seconds",
+	"/sched/goroutines:goroutines",
+	"/gc/heap/live:bytes",
+	"/gc/cycles/total:gc-cycles",
+}
+
+// rmReader owns the preallocated metrics.Sample buffer. metrics.Read
+// reuses a Float64Histogram already present in a sample's Value, so
+// after the first read (which allocates the bucket tables) every
+// subsequent read is allocation-free — the property the sampler's
+// zero-alloc tick contract rests on, asserted by TestSampleNowAllocs.
+type rmReader struct {
+	samples []metrics.Sample
+}
+
+func (r *rmReader) init() {
+	r.samples = make([]metrics.Sample, len(rmNames))
+	for i, n := range rmNames {
+		r.samples[i].Name = n
+	}
+	metrics.Read(r.samples) // warm the histogram buffers
+}
+
+func (r *rmReader) read(dst *GoStats) {
+	metrics.Read(r.samples)
+	dst.Goroutines = int64(r.samples[rmGoroutines].Value.Uint64())
+	dst.HeapLiveBytes = r.samples[rmHeapLive].Value.Uint64()
+	dst.GCCycles = r.samples[rmGCCycles].Value.Uint64()
+	dst.GCPauseP99NS = histQuantileNS(r.samples[rmGCPauses].Value.Float64Histogram(), 0.99)
+	dst.SchedLatP99NS = histQuantileNS(r.samples[rmSchedLat].Value.Float64Histogram(), 0.99)
+}
+
+// histQuantileNS estimates the q-quantile of a runtime histogram in
+// nanoseconds (the runtime reports seconds). The estimate is the upper
+// bound of the bucket the rank lands in — conservative, like the
+// promtext clamp — with ±Inf boundary buckets clamped to their finite
+// neighbour.
+func histQuantileNS(h *metrics.Float64Histogram, q float64) float64 {
+	if h == nil || len(h.Counts) == 0 {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= rank {
+			// Bucket i spans Buckets[i]..Buckets[i+1].
+			hi := h.Buckets[i+1]
+			if math.IsInf(hi, 1) {
+				hi = h.Buckets[i]
+			}
+			if math.IsInf(hi, -1) {
+				hi = 0
+			}
+			return hi * 1e9
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1] * 1e9
+}
