@@ -21,6 +21,11 @@
 // it diffs the caprouter_* series across the run and reports the remote
 // grant count, local fallback rate and per-backend dispatch spread, with
 // optional gates (-max-fallback-rate, -min-backends-hit) for CI.
+// -max-error-rate gates on the client's own view — the fraction of
+// requests that failed outright (transport error, 5xx, 499; a 4xx is
+// the client's conversation with the API, not a failure) — which is
+// what the chaos jobs assert is zero: server metrics can claim every
+// death was absorbed, but only the client knows.
 //
 // Usage:
 //
@@ -29,6 +34,7 @@
 //	capload -url http://localhost:8090 -d 10s -mix quicksort=4,dijkstra=2,lzw=1
 //	capload -d 5s -c 8 -min-throughput 200   # CI smoke: exit 2 below 200 req/s
 //	capload -url http://localhost:8090 -d 5s -max-fallback-rate 0.5 -min-backends-hit 3
+//	capload -url http://localhost:8090 -d 10s -max-error-rate 0   # chaos: zero failed requests
 //
 // With -trace N, every Nth request carries a fresh X-Capsule-Trace-ID,
 // and after the run capload pulls the target's /debug/trace snapshot and
@@ -71,6 +77,7 @@ type options struct {
 	timeout     time.Duration
 	verify      bool
 	minTput     float64
+	maxErrRate  float64
 	maxFallback float64
 	minBackends int
 	sloP99      time.Duration
@@ -109,6 +116,7 @@ func main() {
 	flag.DurationVar(&o.timeout, "timeout", 10*time.Second, "per-request timeout")
 	flag.BoolVar(&o.verify, "verify", true, "assert same (workload,n,seed) always returns the same checksum")
 	flag.Float64Var(&o.minTput, "min-throughput", 0, "exit 2 if 2xx throughput falls below this (req/s)")
+	flag.Float64Var(&o.maxErrRate, "max-error-rate", -1, "exit 2 if the fraction of failed requests (transport errors, 5xx, 499 — anything but 2xx/4xx) exceeds this; 0 = zero tolerance (negative = no gate)")
 	flag.Float64Var(&o.maxFallback, "max-fallback-rate", -1, "router-aware: exit 2 if the run's local-fallback rate exceeds this (negative = no gate)")
 	flag.IntVar(&o.minBackends, "min-backends-hit", 0, "router-aware: exit 2 if fewer backends received a dispatch during the run")
 	flag.DurationVar(&o.sloP99, "slo-p99", 0, "SLO latency target: exit 2 if over 1% of the run's successes exceed it (0 = no SLO gate unless -slo-avail is set)")
@@ -271,11 +279,30 @@ func main() {
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 	tput := float64(ok2xx) / window.Seconds()
 
+	// Failed requests from the *client's* view: transport errors (code
+	// 0), 5xx, 499 — anything that is neither a success nor the client's
+	// own 4xx conversation with the API. This is what the chaos gates
+	// assert is zero: server metrics can claim every death was absorbed,
+	// but only the client knows.
+	var failed int
+	for code, n := range byCode {
+		if (code >= 200 && code < 300) || (code >= 400 && code < 500 && code != 499) {
+			continue
+		}
+		failed += n
+	}
+	var failedRate float64
+	if len(results) > 0 {
+		failedRate = float64(failed) / float64(len(results))
+	}
+
 	report := map[string]any{
 		"mode": mode, "url": o.url, "workloads": o.wls, "n": o.n,
 		"duration_s": elapsed.Seconds(), "total": len(results),
 		"ok_2xx": ok2xx, "errors": errs, "by_code": codeKeys(byCode),
 		"throughput_rps":      tput,
+		"failed":              failed,
+		"failed_rate":         failedRate,
 		"latency_p50_ms":      ms(pct(lats, 0.50)),
 		"latency_p95_ms":      ms(pct(lats, 0.95)),
 		"latency_p99_ms":      ms(pct(lats, 0.99)),
@@ -542,6 +569,12 @@ func main() {
 	if o.minTput > 0 && tput < o.minTput {
 		flushProfiles()
 		fmt.Fprintf(os.Stderr, "capload: throughput %.1f req/s below required %.1f\n", tput, o.minTput)
+		os.Exit(2)
+	}
+	if o.maxErrRate >= 0 && failedRate > o.maxErrRate {
+		flushProfiles()
+		fmt.Fprintf(os.Stderr, "capload: failed-request rate %.4f (%d/%d) above allowed %.4f\n",
+			failedRate, failed, len(results), o.maxErrRate)
 		os.Exit(2)
 	}
 	if o.maxFallback >= 0 {

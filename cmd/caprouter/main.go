@@ -17,6 +17,7 @@
 //	caprouter -addr :8090 -spawn 2 -credits 8 -fail-threshold 3 -fail-window 2s
 //	caprouter -addr :8090 -spawn 2 -trace          # route spans on /debug/trace
 //	caprouter -addr :8090 -spawn 3 -slo-p99 150ms  # fleet telemetry on /debug/watch
+//	caprouter -addr :8090 -spawn 3 -fault -debug-addr localhost:6061  # fault injection on /debug/fault
 //	caprouter -addr :8090 -debug-addr localhost:6061
 //
 // Shutdown is graceful: SIGINT/SIGTERM flips /healthz to 503 first, then
@@ -40,6 +41,7 @@ import (
 	"time"
 
 	"repro/internal/capcluster"
+	"repro/internal/capfault"
 	"repro/internal/capserve"
 	"repro/internal/capsule"
 	"repro/internal/captrace"
@@ -59,7 +61,14 @@ func main() {
 	maxCredits := flag.Int("max-credits", 0, "ceiling on learned credits (0 = default)")
 	failThreshold := flag.Int("fail-threshold", 0, "backend failures tripping the breaker (0 = default)")
 	failWindow := flag.Duration("fail-window", 0, "breaker window (0 = default)")
-	timeout := flag.Duration("timeout", 0, "per-dispatch timeout (0 = default)")
+	timeout := flag.Duration("timeout", 0, "total per-request routing budget (0 = default)")
+	attemptTimeout := flag.Duration("attempt-timeout", 0, "per-dispatch-attempt deadline carved from the budget (0 = default)")
+	refreshTimeout := flag.Duration("refresh-timeout", 0, "credit-scrape timeout, independent of the dispatch budget (0 = default)")
+	trialBackoff := flag.Duration("trial-backoff", 0, "base backoff between failed half-open trials, jittered and doubled per failure (0 = default)")
+	slowCheck := flag.Duration("slow-check", capcluster.SlowCheckInterval, "slow-backend ejection cadence (0 disables)")
+	slowFactor := flag.Float64("slow-factor", 0, "eject a backend whose dispatch p99 exceeds this multiple of its peers' median (0 = default)")
+	slowMinP99 := flag.Duration("slow-min-p99", 0, "absolute p99 floor below which no backend is ejected (0 = default)")
+	slowMinSamples := flag.Int("slow-min-samples", 0, "dispatches per interval a backend needs before slow ejection considers it (0 = default)")
 	refresh := flag.Duration("refresh", time.Second, "credit refresh interval (scrapes backend /metrics; 0 disables)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
 	trace := flag.Bool("trace", false, "record route spans (and spawned backends' lifecycles), served on /debug/trace")
@@ -73,6 +82,8 @@ func main() {
 	sloAvail := flag.Float64("slo-avail", capwatch.DefaultAvailability, "SLO availability objective (fraction of valid requests served)")
 	sloFast := flag.Duration("slo-fast", capwatch.DefaultFastWindow, "fast burn-rate window")
 	sloSlow := flag.Duration("slo-slow", capwatch.DefaultSlowWindow, "slow burn-rate window")
+	fault := flag.Bool("fault", false, "arm the capfault injection layer (dispatch transport + spawned backends), controlled via /debug/fault on -debug-addr")
+	faultSeed := flag.Uint64("fault-seed", 1, "capfault decision-stream seed (same seed + same rules = same faults)")
 	flag.Parse()
 
 	slo := capwatch.SLOConfig{
@@ -92,6 +103,20 @@ func main() {
 	var tracer *captrace.Tracer
 	if *trace {
 		tracer = captrace.New(0, *traceBuf)
+	}
+
+	// One injector covers both sides of the wire: the router's dispatch
+	// transport (router-side faults: partitions, resets, latency on the
+	// way out) and every spawned backend's handler (backend-side faults:
+	// trickling responses, 5xx bursts, mid-body aborts). Disarmed — no
+	// rules installed — it is one atomic pointer load per request, so the
+	// wrap stays on whenever -fault is set, and storms are scripted
+	// entirely through /debug/fault at runtime.
+	var inj *capfault.Injector
+	var wrapBackend func(string, http.Handler) http.Handler
+	if *fault {
+		inj = capfault.New(*faultSeed)
+		wrapBackend = inj.Handler
 	}
 
 	var urls []string
@@ -116,12 +141,12 @@ func main() {
 		if err != nil {
 			fail("spawn backend %d: %v", i, err)
 		}
-		b, err := capserve.StartBackend(capserve.Config{
+		b, err := capserve.StartBackendOn(capserve.Config{
 			Runtime:     brt,
 			QueueDepth:  *spawnQueue,
 			TraceSample: *traceSample,
 			TraceSource: fmt.Sprintf("backend-%d", i),
-		})
+		}, "127.0.0.1:0", wrapBackend)
 		if err != nil {
 			fail("spawn backend %d: %v", i, err)
 		}
@@ -176,18 +201,29 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
+	var dispatchRT http.RoundTripper
+	if inj != nil {
+		dispatchRT = inj.Transport(capcluster.DefaultTransport(*maxCredits))
+	}
 	router, err := capcluster.New(capcluster.Config{
-		Backends:      urls,
-		Local:         local,
-		Placement:     place,
-		Credits:       *credits,
-		MaxCredits:    *maxCredits,
-		FailThreshold: *failThreshold,
-		FailWindow:    *failWindow,
-		Timeout:       *timeout,
-		Tracer:        tracer,
-		TraceSample:   *traceSample,
-		TraceLocals:   traceLocals,
+		Backends:       urls,
+		Local:          local,
+		Placement:      place,
+		Credits:        *credits,
+		MaxCredits:     *maxCredits,
+		FailThreshold:  *failThreshold,
+		FailWindow:     *failWindow,
+		Timeout:        *timeout,
+		AttemptTimeout: *attemptTimeout,
+		RefreshTimeout: *refreshTimeout,
+		TrialBackoff:   *trialBackoff,
+		SlowFactor:     *slowFactor,
+		SlowMinP99:     *slowMinP99,
+		SlowMinSamples: *slowMinSamples,
+		Transport:      dispatchRT,
+		Tracer:         tracer,
+		TraceSample:    *traceSample,
+		TraceLocals:    traceLocals,
 	})
 	if err != nil {
 		fail("%v", err)
@@ -231,6 +267,9 @@ func main() {
 		if watchHandler != nil {
 			dmux.Handle("GET /debug/watch", watchHandler)
 		}
+		if inj != nil {
+			dmux.Handle("/debug/fault", inj.DebugHandler())
+		}
 		go func() {
 			fmt.Printf("caprouter: pprof/trace/watch on http://%s/debug/\n", *debugAddr)
 			if err := http.ListenAndServe(*debugAddr, dmux); err != nil {
@@ -251,6 +290,21 @@ func main() {
 					return
 				case <-t.C:
 					router.Refresh()
+				}
+			}
+		}()
+	}
+	if *slowCheck > 0 {
+		// CheckSlow is single-caller by contract; this goroutine is it.
+		go func() {
+			t := time.NewTicker(*slowCheck)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					router.CheckSlow()
 				}
 			}
 		}()

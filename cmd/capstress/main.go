@@ -103,9 +103,20 @@ type report struct {
 	// traffic, not contention).
 	WatchOverhead map[string]watchOverheadResult `json:"watch_overhead,omitempty"`
 
+	// FaultOverhead is the capfault budget: the disarmed injection layer
+	// (wrapping installed, zero rules) against its unwrapped twin at both
+	// wrap points. CI gates disarmed at noise — the wraps are meant to
+	// stay installed on live fleets.
+	FaultOverhead map[string]faultOverheadResult `json:"fault_overhead,omitempty"`
+
 	Storm   *stormResult   `json:"storm,omitempty"`
 	Serve   *serveResult   `json:"serve,omitempty"`
 	Cluster *clusterResult `json:"cluster,omitempty"`
+
+	// Chaos is the fault-injection storm block: churn, slow-not-dead and
+	// partition scenarios, each gated in CI on zero failed client
+	// requests.
+	Chaos *chaosResult `json:"chaos,omitempty"`
 }
 
 // traceOverheadResult is one hot path's off/armed/traced comparison.
@@ -187,6 +198,9 @@ func main() {
 	cluster := flag.Bool("cluster", true, "also measure the capcluster router (3 backends, one killed at halftime)")
 	clusterDur := flag.Duration("cluster-duration", 2*time.Second, "cluster scenario duration")
 	clusterN := flag.Int("cluster-n", 800, "cluster scenario request input size")
+	chaos := flag.Bool("chaos", true, "also run the capfault chaos storms (churn, slow backend, partition)")
+	chaosDur := flag.Duration("chaos-duration", 2*time.Second, "duration of each chaos storm")
+	chaosN := flag.Int("chaos-n", 400, "chaos storm request input size")
 	flag.Parse()
 
 	start := time.Now()
@@ -315,6 +329,28 @@ func main() {
 		r.Cluster = c
 		fmt.Printf("cluster: %d clients x %s over %d backends (one killed at halftime): %.1f req/s, %d requests, %d errors, grant rate %.3f, fallback rate %.3f, %d deaths\n",
 			c.Clients, clusterDur, c.Backends, c.RPS, c.Requests, c.Errors, c.RemoteGrantRate, c.FallbackRate, c.Deaths)
+	}
+
+	r.FaultOverhead = faultOverhead()
+	for _, point := range []string{"transport", "handler"} {
+		if fo, ok := r.FaultOverhead[point]; ok {
+			fmt.Printf("fault overhead %-28s disarmed %+6.1f%% (%.0f vs %.0f ns/op)\n",
+				point, fo.DisarmedOverheadPct, fo.DisarmedNsPerOp, fo.UnwrappedNsPerOp)
+		}
+	}
+
+	if *chaos {
+		ch, err := runChaos(*chaosDur, *chaosN)
+		if err != nil {
+			fail("chaos measurement: %v", err)
+		}
+		r.Chaos = ch
+		fmt.Printf("chaos churn: %d joins/%d leaves across %d backends: %d requests, %d errors\n",
+			ch.Churn.Joins, ch.Churn.Leaves, ch.Churn.Backends, ch.Churn.Requests, ch.Churn.Errors)
+		fmt.Printf("chaos slow: %d ejections, readmitted=%v: %d requests, %d errors\n",
+			ch.Slow.Ejections, ch.Slow.Readmitted, ch.Slow.Requests, ch.Slow.Errors)
+		fmt.Printf("chaos partition: %d deaths, %d breaker denies, max latency %.0fms: %d requests, %d errors\n",
+			ch.Partition.Deaths, ch.Partition.BreakerDenies, ch.Partition.MaxLatencyMS, ch.Partition.Requests, ch.Partition.Errors)
 	}
 
 	r.DurationS = time.Since(start).Seconds()

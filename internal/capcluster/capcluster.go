@@ -81,6 +81,28 @@ const (
 	DefaultFailWindow = 2 * time.Second
 	// DefaultTimeout bounds one remote dispatch end to end.
 	DefaultTimeout = 10 * time.Second
+	// DefaultAttemptTimeout bounds one dispatch *attempt* — the slice of
+	// the request budget a single backend may consume before the ladder
+	// moves on. A black-holing backend costs one attempt, not the
+	// request.
+	DefaultAttemptTimeout = 2 * time.Second
+	// DefaultRefreshTimeout bounds one credit-refresh scrape. Deliberately
+	// much shorter than DefaultTimeout: the recovery feed exists to work
+	// around sick backends, so it must never wait on one.
+	DefaultRefreshTimeout = 1 * time.Second
+	// DefaultTrialBackoff is the base delay of the jittered exponential
+	// backoff between failed half-open trials.
+	DefaultTrialBackoff = 100 * time.Millisecond
+	// DefaultSlowFactor: a backend is ejected when its dispatch p99
+	// exceeds the fleet median p99 by this factor (and the floors below).
+	DefaultSlowFactor = 4.0
+	// DefaultSlowMinP99 is the absolute p99 floor below which a backend
+	// is never ejected, however its peers perform — sub-floor latency is
+	// healthy by definition.
+	DefaultSlowMinP99 = 25 * time.Millisecond
+	// DefaultSlowMinSamples is the minimum relayed dispatches a backend
+	// needs inside one CheckSlow interval before its p99 is trusted.
+	DefaultSlowMinSamples = 16
 	// DefaultMaxBody caps buffered POST bodies (they are replayed on
 	// retry and fallback, so they must be held in memory).
 	DefaultMaxBody = 1 << 20
@@ -116,6 +138,40 @@ type Config struct {
 
 	// Timeout bounds one remote dispatch. Default: DefaultTimeout.
 	Timeout time.Duration
+
+	// AttemptTimeout bounds one dispatch attempt, carved from the
+	// remaining Timeout budget: each attempt runs under
+	// min(AttemptTimeout, budget left), so a stalled backend costs one
+	// attempt and the walk across the fleet still finishes inside
+	// Timeout. Default: DefaultAttemptTimeout; set >= Timeout to
+	// effectively disable the per-attempt slice.
+	AttemptTimeout time.Duration
+
+	// RefreshTimeout bounds one Refresh scrape of a backend's /metrics.
+	// The scrape client is separate from the dispatch client precisely
+	// so a black-holed backend cannot hold the recovery feed hostage for
+	// a full dispatch Timeout. Default: DefaultRefreshTimeout.
+	RefreshTimeout time.Duration
+
+	// TrialBackoff is the base of the jittered exponential backoff
+	// applied between *failed* half-open trials: after the k-th
+	// consecutive trial failure the next trial also waits
+	// ~TrialBackoff·2^(k-1), jittered ±50% deterministically per
+	// backend, on top of the quiet-window gate — so a fleet of routers
+	// re-probing a struggling backend doesn't line its trials up into a
+	// thundering herd. Default: DefaultTrialBackoff.
+	TrialBackoff time.Duration
+
+	// SlowFactor, SlowMinP99 and SlowMinSamples parameterise slow-backend
+	// ejection (Router.CheckSlow): a backend whose dispatch p99 over the
+	// interval exceeds SlowFactor × the fleet-median p99 — while p99 >
+	// SlowMinP99 and at least SlowMinSamples dispatches back the estimate
+	// — is ejected into the same breaker/probation machinery a dead
+	// backend trips. Defaults: DefaultSlowFactor, DefaultSlowMinP99,
+	// DefaultSlowMinSamples.
+	SlowFactor     float64
+	SlowMinP99     time.Duration
+	SlowMinSamples int
 
 	// MaxBody caps buffered POST bodies. Default: DefaultMaxBody.
 	MaxBody int64
@@ -192,6 +248,12 @@ func (cfg Config) Validate() error {
 	if cfg.FailWindow < 0 || cfg.Timeout < 0 || cfg.MaxBody < 0 {
 		return fmt.Errorf("capcluster: FailWindow, Timeout and MaxBody must be >= 0 (0 means default)")
 	}
+	if cfg.AttemptTimeout < 0 || cfg.RefreshTimeout < 0 || cfg.TrialBackoff < 0 {
+		return fmt.Errorf("capcluster: AttemptTimeout, RefreshTimeout and TrialBackoff must be >= 0 (0 means default)")
+	}
+	if cfg.SlowFactor < 0 || cfg.SlowMinP99 < 0 || cfg.SlowMinSamples < 0 {
+		return fmt.Errorf("capcluster: SlowFactor, SlowMinP99 and SlowMinSamples must be >= 0 (0 means default)")
+	}
 	if cfg.TraceSample < 0 {
 		return fmt.Errorf("capcluster: TraceSample must be >= 0 (0 means %d), got %d", capserve.DefaultTraceSample, cfg.TraceSample)
 	}
@@ -208,6 +270,7 @@ type Router struct {
 	local    *capserve.Server
 	place    Placement
 	client   *http.Client
+	scrape   *http.Client // Refresh's own client: short timeout, never waits a dispatch Timeout on a sick backend
 	mux      *http.ServeMux
 	start    time.Time
 	draining atomic.Bool
@@ -258,6 +321,24 @@ func New(cfg Config) (*Router, error) {
 	if cfg.Timeout == 0 {
 		cfg.Timeout = DefaultTimeout
 	}
+	if cfg.AttemptTimeout == 0 {
+		cfg.AttemptTimeout = DefaultAttemptTimeout
+	}
+	if cfg.RefreshTimeout == 0 {
+		cfg.RefreshTimeout = DefaultRefreshTimeout
+	}
+	if cfg.TrialBackoff == 0 {
+		cfg.TrialBackoff = DefaultTrialBackoff
+	}
+	if cfg.SlowFactor == 0 {
+		cfg.SlowFactor = DefaultSlowFactor
+	}
+	if cfg.SlowMinP99 == 0 {
+		cfg.SlowMinP99 = DefaultSlowMinP99
+	}
+	if cfg.SlowMinSamples == 0 {
+		cfg.SlowMinSamples = DefaultSlowMinSamples
+	}
 	if cfg.MaxBody == 0 {
 		cfg.MaxBody = DefaultMaxBody
 	}
@@ -278,6 +359,7 @@ func New(cfg Config) (*Router, error) {
 		local:       cfg.Local,
 		place:       cfg.Placement,
 		client:      &http.Client{Transport: transport, Timeout: cfg.Timeout},
+		scrape:      &http.Client{Transport: transport, Timeout: cfg.RefreshTimeout},
 		mux:         http.NewServeMux(),
 		start:       time.Now(),
 		tracer:      cfg.Tracer,
@@ -287,7 +369,7 @@ func New(cfg Config) (*Router, error) {
 	for i, base := range cfg.Backends {
 		u, _ := url.Parse(base) // validated above
 		r.backends = append(r.backends, newBackend(
-			base, u.Host, i, cfg.Credits, cfg.MaxCredits, cfg.FailThreshold, cfg.FailWindow))
+			base, u.Host, i, cfg.Credits, cfg.MaxCredits, cfg.FailThreshold, cfg.FailWindow, cfg.TrialBackoff))
 	}
 	r.mux.HandleFunc("GET /healthz", r.handleHealthz)
 	r.mux.HandleFunc("GET /metrics", r.handleMetrics)
@@ -378,6 +460,10 @@ func (r *Router) handleRun(w http.ResponseWriter, req *http.Request) {
 
 	if n := len(r.backends); n > 0 {
 		first := r.place.Pick(placeKey(req.PathValue("workload"), req.URL.RawQuery), r.backends)
+		// The whole remote walk shares one budget: each attempt runs
+		// under min(AttemptTimeout, budget left), so retries after a
+		// stalled backend shrink, never extend, the request's bound.
+		deadline := time.Now().Add(r.cfg.Timeout)
 		for i := 0; i < n; i++ {
 			b := r.backends[(first+i)%n]
 			r.remoteProbes.Add(1)
@@ -390,7 +476,7 @@ func (r *Router) handleRun(w http.ResponseWriter, req *http.Request) {
 			// reconstructable per request.
 			r.trace(traced, captrace.KRouteDispatch, tid, uint16(b.id), uint32(b.Credits()))
 			start := time.Now()
-			switch r.dispatch(w, req, b, body, tid, traced) {
+			switch r.dispatch(w, req, b, body, deadline, tid, traced) {
 			case dispatched:
 				elapsed := time.Since(start)
 				b.dispatchLatency.Observe(elapsed)
@@ -448,9 +534,11 @@ func (r *Router) handleRun(w http.ResponseWriter, req *http.Request) {
 // (capserve_queue_depth minus capserve_queue_occupancy). It is the slow
 // capacity feed — response headers are the fast one — and the recovery
 // path for a backend parked at zero credits with no traffic to advertise
-// through. Backends are scraped concurrently, so one unreachable backend
-// costs the fleet max(timeout), not sum — the recovery feed must not be
-// starved by exactly the sick backend it exists to work around.
+// through. Backends are scraped concurrently and with the dedicated
+// short-timeout scrape client (Config.RefreshTimeout, not the dispatch
+// Timeout), so one black-holed backend costs the fleet at most one
+// RefreshTimeout, not a 10 s dispatch budget — the recovery feed must
+// not be starved by exactly the sick backend it exists to work around.
 // cmd/caprouter runs it on a ticker; tests call it directly.
 func (r *Router) Refresh() {
 	var wg sync.WaitGroup
@@ -467,7 +555,7 @@ func (r *Router) Refresh() {
 }
 
 func (r *Router) refreshBackend(b *Backend) error {
-	resp, err := r.client.Get(b.url + "/metrics")
+	resp, err := r.scrape.Get(b.url + "/metrics")
 	if err != nil {
 		return err
 	}

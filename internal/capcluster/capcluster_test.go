@@ -105,7 +105,7 @@ func TestConfigValidate(t *testing.T) {
 // TestProbeDenyAllocFree pins the PR 3 discipline at cluster scope: both
 // remote-probe refusal reasons are allocation-free.
 func TestProbeDenyAllocFree(t *testing.T) {
-	b := newBackend("http://127.0.0.1:1", "b0", 0, 4, 1024, 2, time.Second)
+	b := newBackend("http://127.0.0.1:1", "b0", 0, 4, 1024, 2, time.Second, 0)
 
 	b.setCredits(0) // every probe refuses on credit
 	if allocs := testing.AllocsPerRun(1000, func() {
@@ -165,7 +165,7 @@ func TestProbeDenyNetworkFree(t *testing.T) {
 // clock: threshold failures deny probes, and the probes flow again once
 // the window slides past them.
 func TestBreakerTripsAndReadmits(t *testing.T) {
-	b := newBackend("http://127.0.0.1:1", "b0", 0, 4, 1024, 3, time.Second)
+	b := newBackend("http://127.0.0.1:1", "b0", 0, 4, 1024, 3, time.Second, 0)
 	var clock atomic.Int64
 	b.now = func() int64 { return clock.Load() }
 
@@ -241,7 +241,7 @@ func TestBreakerTripsAndReadmits(t *testing.T) {
 // ceiling, release restores, learn folds advertised headroom in on top
 // of in-flight, setCredits clamps.
 func TestCreditGauge(t *testing.T) {
-	b := newBackend("http://127.0.0.1:1", "b0", 0, 3, 8, 4, time.Second)
+	b := newBackend("http://127.0.0.1:1", "b0", 0, 3, 8, 4, time.Second, 0)
 	for i := 0; i < 3; i++ {
 		if !b.probe() {
 			t.Fatalf("probe %d refused with credits free", i)
@@ -287,7 +287,7 @@ func TestCreditGauge(t *testing.T) {
 // is no lost releases (final inflight zero) and no grant beyond the
 // ceiling at snapshot time.
 func TestCreditGaugeStorm(t *testing.T) {
-	b := newBackend("http://127.0.0.1:1", "b0", 0, 8, 64, 4, time.Second)
+	b := newBackend("http://127.0.0.1:1", "b0", 0, 8, 64, 4, time.Second, 0)
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
@@ -316,7 +316,7 @@ func TestPlacementPolicies(t *testing.T) {
 	mk := func(credits ...int) []*Backend {
 		bs := make([]*Backend, len(credits))
 		for i, c := range credits {
-			bs[i] = newBackend(fmt.Sprintf("http://127.0.0.1:%d", i+1), fmt.Sprintf("b%d", i), i, c, 1024, 4, time.Second)
+			bs[i] = newBackend(fmt.Sprintf("http://127.0.0.1:%d", i+1), fmt.Sprintf("b%d", i), i, c, 1024, 4, time.Second, 0)
 		}
 		return bs
 	}

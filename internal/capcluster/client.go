@@ -2,9 +2,11 @@ package capcluster
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"net/http"
 	"strconv"
+	"time"
 
 	"repro/internal/capserve"
 	"repro/internal/captrace"
@@ -33,6 +35,19 @@ func defaultTransport(maxCredits int) http.RoundTripper {
 	return httptune.Transport(perHost)
 }
 
+// DefaultTransport returns the dispatch transport New builds when
+// Config.Transport is nil, sized for maxCredits concurrent dispatches
+// per backend (0 = the default ceiling). Callers that need to interpose
+// on the wire — cmd/caprouter wrapping dispatches in a capfault
+// injector — start from this so wrapping does not change pooling
+// behavior.
+func DefaultTransport(maxCredits int) http.RoundTripper {
+	if maxCredits == 0 {
+		maxCredits = DefaultMaxCredits
+	}
+	return defaultTransport(maxCredits)
+}
+
 // outcome classifies one remote dispatch attempt.
 type outcome int
 
@@ -57,9 +72,29 @@ const (
 // feed — has been consumed. A traced request's ID is re-stamped on the
 // outbound header, so the backend adopts the same identity and its
 // serving/runtime events join the router's route span in one waterfall.
-func (r *Router) dispatch(w http.ResponseWriter, req *http.Request, b *Backend, body []byte, tid uint64, traced bool) outcome {
+//
+// The attempt runs under min(Config.AttemptTimeout, time left until
+// deadline) — the hardening capfault's black-hole forced: a backend
+// that accepts and stalls costs the request one attempt slice, not the
+// whole budget, and the walk moves on. Responses up to MaxBody are
+// buffered before anything is written to the client, so a backend dying
+// mid-body is a retryable death (the next backend gets the request)
+// instead of a truncated 200.
+func (r *Router) dispatch(w http.ResponseWriter, req *http.Request, b *Backend, body []byte, deadline time.Time, tid uint64, traced bool) outcome {
 	defer b.release()
 	b.dispatches.Add(1)
+
+	attempt := r.cfg.AttemptTimeout
+	if rem := time.Until(deadline); rem < attempt {
+		attempt = rem
+	}
+	if attempt <= 0 {
+		// Budget exhausted before this attempt started: charge the walk,
+		// not the backend.
+		return died
+	}
+	ctx, cancel := context.WithTimeout(req.Context(), attempt)
+	defer cancel()
 
 	target := b.url + req.URL.Path
 	if req.URL.RawQuery != "" {
@@ -69,7 +104,7 @@ func (r *Router) dispatch(w http.ResponseWriter, req *http.Request, b *Backend, 
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	out, err := http.NewRequestWithContext(req.Context(), req.Method, target, rd)
+	out, err := http.NewRequestWithContext(ctx, req.Method, target, rd)
 	if err != nil {
 		b.fail()
 		return died
@@ -92,6 +127,8 @@ func (r *Router) dispatch(w http.ResponseWriter, req *http.Request, b *Backend, 
 			b.abortTrial()
 			return clientGone
 		}
+		// The parent context is fine, so the error is the backend's —
+		// including the attempt deadline firing: a black-hole is a death.
 		b.fail()
 		return died
 	}
@@ -102,9 +139,17 @@ func (r *Router) dispatch(w http.ResponseWriter, req *http.Request, b *Backend, 
 	b.recover()
 
 	// The fast credit feed: every capserve response advertises its queue
-	// headroom at the instant it answered.
-	if free, aerr := strconv.Atoi(resp.Header.Get(capserve.HeaderQueueFree)); aerr == nil {
-		b.learn(free)
+	// headroom at the instant it answered. The header crosses a process
+	// boundary, so it is clamped like any other untrusted input — a
+	// corrupted or injected value must not inflate the gauge (learn caps
+	// at MaxCredits, but pinning a backend *at* the cap is still
+	// inflation, so garbage is dropped at the parse).
+	if hdr := resp.Header.Get(capserve.HeaderQueueFree); hdr != "" {
+		if free, ok := parseHeadroom(hdr); ok {
+			b.learn(free)
+		} else {
+			b.badHeaders.Add(1)
+		}
 	}
 
 	switch {
@@ -118,8 +163,41 @@ func (r *Router) dispatch(w http.ResponseWriter, req *http.Request, b *Backend, 
 		return died
 	}
 
-	// 2xx and 4xx proxy through verbatim: a 400/404/413 is the client's
-	// conversation with the API, not a backend health event.
+	// 2xx and 4xx proxy through. Bodies up to MaxBody are buffered
+	// first — the client has seen nothing yet, so a mid-body death stays
+	// retryable — and the attempt deadline covers the read, so a
+	// trickling body slower than the slice is a death too, not a stall.
+	if resp.ContentLength <= r.cfg.MaxBody {
+		var buf bytes.Buffer
+		if n, err := io.Copy(&buf, io.LimitReader(resp.Body, r.cfg.MaxBody+1)); err == nil && n <= r.cfg.MaxBody {
+			h := w.Header()
+			if ct := resp.Header.Get("Content-Type"); ct != "" {
+				h.Set("Content-Type", ct)
+			}
+			h.Set(HeaderRoute, "remote")
+			h.Set(HeaderBackend, b.name)
+			h.Set("Content-Length", strconv.Itoa(buf.Len()))
+			w.WriteHeader(resp.StatusCode)
+			w.Write(buf.Bytes())
+			b.served.Add(1)
+			return dispatched
+		} else if err != nil {
+			if req.Context().Err() != nil {
+				// Our client hung up while we buffered; the backend is
+				// blameless and nobody is waiting.
+				return clientGone
+			}
+			b.fail()
+			return died
+		}
+		// n > MaxBody with a lying/absent Content-Length: fall through to
+		// streaming what was buffered plus the rest.
+		resp.Body = &prefixedBody{head: buf.Bytes(), tail: resp.Body}
+	}
+
+	// Oversized body: stream it. The client sees bytes as they arrive,
+	// so a mid-body death here is unrecoverable — headers are gone; all
+	// that's left is the accounting.
 	h := w.Header()
 	if ct := resp.Header.Get("Content-Type"); ct != "" {
 		h.Set("Content-Type", ct)
@@ -128,8 +206,6 @@ func (r *Router) dispatch(w http.ResponseWriter, req *http.Request, b *Backend, 
 	h.Set(HeaderBackend, b.name)
 	w.WriteHeader(resp.StatusCode)
 	if _, err := io.Copy(w, resp.Body); err != nil {
-		// Headers are gone; all that's left is the accounting. A backend
-		// dying mid-body is a death even though the status was fine.
 		if req.Context().Err() == nil {
 			b.fail()
 		}
@@ -138,3 +214,40 @@ func (r *Router) dispatch(w http.ResponseWriter, req *http.Request, b *Backend, 
 	b.served.Add(1)
 	return dispatched
 }
+
+// headroomCeiling bounds a believable X-Capserve-Queue-Free value. The
+// largest honest headroom is the backend's queue depth; anything beyond
+// this is a corrupted or hostile header, not a big queue.
+const headroomCeiling = 1 << 20
+
+// parseHeadroom validates the fast credit feed's header value: a
+// non-negative integer no larger than headroomCeiling. Anything else —
+// unparseable, negative, absurd — is rejected (counted per backend as
+// caprouter_backend_bad_headers_total) so the gauge only ever learns
+// plausible capacity.
+func parseHeadroom(s string) (int, bool) {
+	v, err := strconv.Atoi(s)
+	if err != nil || v < 0 || v > headroomCeiling {
+		return 0, false
+	}
+	return v, true
+}
+
+// prefixedBody replays an already-buffered head before the unread tail
+// of the response body — the hand-off from buffered to streaming relay
+// when a body outgrows MaxBody mid-read.
+type prefixedBody struct {
+	head []byte
+	tail io.ReadCloser
+}
+
+func (p *prefixedBody) Read(b []byte) (int, error) {
+	if len(p.head) > 0 {
+		n := copy(b, p.head)
+		p.head = p.head[n:]
+		return n, nil
+	}
+	return p.tail.Read(b)
+}
+
+func (p *prefixedBody) Close() error { return p.tail.Close() }

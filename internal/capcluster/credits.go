@@ -50,12 +50,27 @@ type Backend struct {
 	// quiet window.
 	probation atomic.Uint32
 
+	// Failed half-open trials back off exponentially with deterministic
+	// per-backend jitter (see scheduleTrial): trialFails counts
+	// consecutive trial failures, nextTrialNS is the earliest instant the
+	// next trial may run. Both reset the moment any response arrives.
+	trialFails     atomic.Uint32
+	nextTrialNS    atomic.Int64
+	trialBackoffNS int64
+
 	dispatches    atomic.Uint64 // granted probes that went to the wire
 	served        atomic.Uint64 // responses proxied back to a client
 	sheds         atomic.Uint64 // backend 503s (stale credits, not deaths)
 	deaths        atomic.Uint64 // transport errors, timeouts, 5xx
 	creditDenies  atomic.Uint64 // probes refused for lack of credit
 	breakerDenies atomic.Uint64 // probes refused by the failure breaker
+	ejections     atomic.Uint64 // slow-backend ejections (CheckSlow)
+	badHeaders    atomic.Uint64 // rejected X-Capserve-Queue-Free values
+
+	// slowPrev is CheckSlow's cumulative dispatch-latency snapshot from
+	// the previous interval. Owned by the single CheckSlow caller (the
+	// refresh ticker); not for concurrent use.
+	slowPrev [capserve.NumLatencyBuckets]float64
 
 	// dispatchLatency is the duration distribution of dispatches that
 	// relayed a response (capcluster_dispatch_duration_seconds on
@@ -75,16 +90,17 @@ const (
 	probationTrial               // the trial dispatch is in flight
 )
 
-func newBackend(url, name string, id, credits, maxCredits, failThreshold int, failWindow time.Duration) *Backend {
+func newBackend(url, name string, id, credits, maxCredits, failThreshold int, failWindow, trialBackoff time.Duration) *Backend {
 	b := &Backend{
-		url:           url,
-		name:          name,
-		id:            id,
-		nameHash:      fnv64(url),
-		failThreshold: failThreshold,
-		failWindowNS:  failWindow.Nanoseconds(),
-		maxCredits:    uint32(maxCredits),
-		now:           func() int64 { return time.Now().UnixNano() },
+		url:            url,
+		name:           name,
+		id:             id,
+		nameHash:       fnv64(url),
+		failThreshold:  failThreshold,
+		failWindowNS:   failWindow.Nanoseconds(),
+		maxCredits:     uint32(maxCredits),
+		trialBackoffNS: trialBackoff.Nanoseconds(),
+		now:            func() int64 { return time.Now().UnixNano() },
 	}
 	b.ring.init(failThreshold)
 	b.setCredits(credits)
@@ -122,10 +138,14 @@ func (b *Backend) probe() bool {
 	}
 	switch b.probation.Load() {
 	case probationWait:
-		// Re-admission after a trip is gated twice: the window must be
-		// fully quiet (not one failure in it — so failed trials retry at
-		// most once per window), and only one prober wins the trial slot.
+		// Re-admission after a trip is gated three ways: the window must
+		// be fully quiet (not one failure in it — so failed trials retry
+		// at most once per window), the jittered backoff from previous
+		// failed trials must have elapsed (so recovering backends aren't
+		// re-tripped by a synchronized trial herd), and only one prober
+		// wins the trial slot.
 		if b.ring.atLeast(1, b.now, b.failWindowNS) ||
+			b.now() < b.nextTrialNS.Load() ||
 			!b.probation.CompareAndSwap(probationWait, probationTrial) {
 			b.breakerDenies.Add(1)
 			return false
@@ -158,21 +178,49 @@ func (b *Backend) release() { b.gauge.Add(^uint64(0)) }
 
 // fail records one cluster-scope death (error, timeout, 5xx) in the
 // breaker ring, and arms (or re-arms, for a failed trial) the half-open
-// probation gate.
+// probation gate. A failed *trial* additionally pushes the next trial
+// out by a jittered exponential backoff.
 func (b *Backend) fail() {
 	b.deaths.Add(1)
 	b.ring.record(b.now())
-	if b.probation.Load() == probationTrial ||
-		b.ring.atLeast(b.failThreshold, b.now, b.failWindowNS) {
+	if b.probation.Load() == probationTrial {
+		b.scheduleTrial(b.trialFails.Add(1))
+		b.probation.Store(probationWait)
+		return
+	}
+	if b.ring.atLeast(b.failThreshold, b.now, b.failWindowNS) {
 		b.probation.Store(probationWait)
 	}
 }
 
+// scheduleTrial sets the earliest instant of the next half-open trial
+// after the fails-th consecutive trial failure: trialBackoff·2^(fails-1)
+// (capped at 2^6) jittered deterministically into [0.5×, 1.5×). The
+// jitter is a pure function of (backend identity, fails), so it is
+// reproducible in tests yet decorrelated across backends and across
+// routers probing the same backend fleet.
+func (b *Backend) scheduleTrial(fails uint32) {
+	if b.trialBackoffNS <= 0 {
+		return
+	}
+	shift := fails - 1
+	if shift > 6 {
+		shift = 6
+	}
+	base := b.trialBackoffNS << shift
+	h := mix64(b.nameHash ^ uint64(fails)*0x9e3779b97f4a7c15)
+	d := base/2 + int64(h%uint64(base))
+	b.nextTrialNS.Store(b.now() + d)
+}
+
 // recover marks the backend alive: any received response (2xx, 4xx,
-// even a shed) closes probation and restores full probing.
+// even a shed) closes probation, clears the trial backoff and restores
+// full probing.
 func (b *Backend) recover() {
 	if b.probation.Load() != probationOff {
 		b.probation.Store(probationOff)
+		b.trialFails.Store(0)
+		b.nextTrialNS.Store(0)
 	}
 }
 

@@ -63,6 +63,8 @@ type BackendStats struct {
 	Deaths        uint64 `json:"deaths"`
 	CreditDenies  uint64 `json:"credit_denies"`
 	BreakerDenies uint64 `json:"breaker_denies"`
+	Ejections     uint64 `json:"ejections"`
+	BadHeaders    uint64 `json:"bad_headers"`
 }
 
 // Stats snapshots the backend's counters and gauges.
@@ -78,6 +80,8 @@ func (b *Backend) Stats() BackendStats {
 		Deaths:        b.deaths.Load(),
 		CreditDenies:  b.creditDenies.Load(),
 		BreakerDenies: b.breakerDenies.Load(),
+		Ejections:     b.ejections.Load(),
+		BadHeaders:    b.badHeaders.Load(),
 	}
 }
 
@@ -166,6 +170,10 @@ func (r *Router) writeMetrics(w io.Writer) {
 		func(b *Backend) float64 { return float64(b.deaths.Load()) }, "%.0f")
 	perBackend("caprouter_backend_sheds_total", "503 sheds from this backend.", "counter",
 		func(b *Backend) float64 { return float64(b.sheds.Load()) }, "%.0f")
+	perBackend("caprouter_backend_ejections_total", "Slow-backend ejections (p99 outlier vs fleet median).", "counter",
+		func(b *Backend) float64 { return float64(b.ejections.Load()) }, "%.0f")
+	perBackend("caprouter_backend_bad_headers_total", "Rejected X-Capserve-Queue-Free credit headers.", "counter",
+		func(b *Backend) float64 { return float64(b.badHeaders.Load()) }, "%.0f")
 
 	if len(r.backends) > 0 {
 		fmt.Fprintf(w, "# HELP capcluster_dispatch_duration_seconds Remote dispatch duration, relayed responses only (deaths/timeouts excluded).\n")

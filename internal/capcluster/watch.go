@@ -26,6 +26,8 @@ type BackendCounters struct {
 	Deaths        uint64 `json:"deaths"`
 	CreditDenies  uint64 `json:"credit_denies"`
 	BreakerDenies uint64 `json:"breaker_denies"`
+	Ejections     uint64 `json:"ejections"`
+	BadHeaders    uint64 `json:"bad_headers"`
 
 	// DispatchBuckets is the dispatch-latency density histogram
 	// (relayed responses only), +Inf last — the router-side view of the
@@ -65,6 +67,8 @@ func (r *Router) ReadBackendCounters(dst []BackendCounters) int {
 		d.Deaths = b.deaths.Load()
 		d.CreditDenies = b.creditDenies.Load()
 		d.BreakerDenies = b.breakerDenies.Load()
+		d.Ejections = b.ejections.Load()
+		d.BadHeaders = b.badHeaders.Load()
 		d.DispatchSumNS = b.dispatchLatency.ReadCounts(&d.DispatchBuckets)
 	}
 	return len(r.backends)

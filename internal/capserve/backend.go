@@ -32,6 +32,18 @@ type Backend struct {
 // Backend owns (Close shuts it down); a caller-supplied runtime is left
 // to its owner.
 func StartBackend(cfg Config) (*Backend, error) {
+	return StartBackendOn(cfg, "127.0.0.1:0", nil)
+}
+
+// StartBackendOn is StartBackend with two knobs churn and chaos
+// harnesses need: an explicit listen address (so a "rejoining" backend
+// can come back on the address its router already knows — pass
+// "127.0.0.1:0" for the ephemeral default), and an optional handler
+// wrap applied around the Server (capfault-style fault injection on the
+// backend side of the wire). wrap receives the backend's host:port —
+// assigned by the listener, so rules scoped by backend name match from
+// either side — and the Server as an http.Handler.
+func StartBackendOn(cfg Config, addr string, wrap func(name string, h http.Handler) http.Handler) (*Backend, error) {
 	ownRT := false
 	if cfg.Runtime == nil {
 		cfg.Runtime = capsule.NewDefault()
@@ -44,18 +56,22 @@ func StartBackend(cfg Config) (*Backend, error) {
 		}
 		return nil, err
 	}
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		if ownRT {
 			cfg.Runtime.Close()
 		}
 		return nil, fmt.Errorf("capserve: backend listen: %w", err)
 	}
+	var h http.Handler = s
+	if wrap != nil {
+		h = wrap(ln.Addr().String(), h)
+	}
 	b := &Backend{
 		Server: s,
 		URL:    "http://" + ln.Addr().String(),
 		hs:     ln.(*net.TCPListener),
-		srv:    &http.Server{Handler: s},
+		srv:    &http.Server{Handler: h},
 		rt:     cfg.Runtime,
 		ownRT:  ownRT,
 	}
