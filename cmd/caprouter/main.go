@@ -18,6 +18,7 @@
 //	caprouter -addr :8090 -spawn 2 -trace          # route spans on /debug/trace
 //	caprouter -addr :8090 -spawn 3 -slo-p99 150ms  # fleet telemetry on /debug/watch
 //	caprouter -addr :8090 -spawn 3 -fault -debug-addr localhost:6061  # fault injection on /debug/fault
+//	caprouter -addr :8090 -spawn 3 -incident-dir /var/tmp/capscope    # burn-triggered bundles on /debug/incident
 //	caprouter -addr :8090 -debug-addr localhost:6061
 //
 // Shutdown is graceful: SIGINT/SIGTERM flips /healthz to 503 first, then
@@ -36,12 +37,14 @@ import (
 	"net/url"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/capcluster"
 	"repro/internal/capfault"
+	"repro/internal/capscope"
 	"repro/internal/capserve"
 	"repro/internal/capsule"
 	"repro/internal/captrace"
@@ -84,7 +87,14 @@ func main() {
 	sloSlow := flag.Duration("slo-slow", capwatch.DefaultSlowWindow, "slow burn-rate window")
 	fault := flag.Bool("fault", false, "arm the capfault injection layer (dispatch transport + spawned backends), controlled via /debug/fault on -debug-addr")
 	faultSeed := flag.Uint64("fault-seed", 1, "capfault decision-stream seed (same seed + same rules = same faults)")
+	incidentDir := flag.String("incident-dir", "", "capture burn-triggered incident bundles (router + spawned backends, one subdir each) into this directory, served on /debug/incident (empty = off; requires -watch)")
+	incidentMax := flag.Int("incident-max", 0, "bound on resident incident bundles per process (0 = default)")
+	incidentCooldown := flag.Duration("incident-cooldown", 0, "per-trigger debounce between captures (0 = default)")
 	flag.Parse()
+
+	if *incidentDir != "" && !*watch {
+		fail("-incident-dir requires -watch (the recorders ride the telemetry tick)")
+	}
 
 	slo := capwatch.SLOConfig{
 		TargetP99:    *sloP99,
@@ -128,6 +138,7 @@ func main() {
 	var spawned []*capserve.Backend
 	var traceLocals []capcluster.TraceSnapshotter
 	var backendSamplers []*capwatch.Sampler
+	var backendRecorders []*capscope.Recorder
 	for i := 0; i < *spawn; i++ {
 		var btr *captrace.Tracer
 		if *trace {
@@ -177,6 +188,29 @@ func main() {
 			}
 			b.Server.Mount("GET /debug/watch", capwatch.Handler(bs))
 			b.Server.AddMetrics(bs.WriteMetrics)
+			if *incidentDir != "" {
+				// Each spawned backend records into its own subdir, named
+				// by the same host:port label its sampler and the router's
+				// gauges use — bundles stay attributable after the process
+				// exits and the ports are gone.
+				br, err := capscope.New(capscope.Config{
+					Source:     u.Host,
+					Dir:        filepath.Join(*incidentDir, u.Host),
+					MaxBundles: *incidentMax,
+					Cooldown:   *incidentCooldown,
+					Runtime:    brt,
+					Server:     b.Server,
+					Tracer:     btr,
+					Fault:      inj,
+				})
+				if err != nil {
+					fail("spawn backend %d recorder: %v", i, err)
+				}
+				br.Arm(bs)
+				b.Server.Mount("/debug/incident", capscope.Handler(br))
+				b.Server.AddMetrics(br.WriteMetrics)
+				backendRecorders = append(backendRecorders, br)
+			}
 			bs.Start()
 			backendSamplers = append(backendSamplers, bs)
 		}
@@ -235,6 +269,8 @@ func main() {
 	// ephemeral spawned backend lives. Fronted backends (-backends) serve
 	// their own /debug/watch at their own URL.
 	var watchHandler http.Handler
+	var incidentHandler http.Handler
+	var recorders []*capscope.Recorder
 	if *watch {
 		routerSampler, err := capwatch.New(capwatch.Config{
 			Source:   "caprouter",
@@ -251,6 +287,34 @@ func main() {
 		watchHandler = capwatch.Handler(append([]*capwatch.Sampler{routerSampler}, backendSamplers...)...)
 		router.Mount("GET /debug/watch", watchHandler)
 		router.AddMetrics(routerSampler.WriteMetrics)
+		if *incidentDir != "" {
+			// The router's recorder sees the fleet-level triggers — SLO
+			// burn over merged dispatch latency, breaker trips, slow
+			// ejections — and its /debug/incident merges every spawned
+			// backend's bundle list, mirroring /debug/watch: only the
+			// router knows where an ephemeral spawned backend lives.
+			routerRec, err := capscope.New(capscope.Config{
+				Source:     "caprouter",
+				Dir:        filepath.Join(*incidentDir, "caprouter"),
+				MaxBundles: *incidentMax,
+				Cooldown:   *incidentCooldown,
+				Runtime:    localRT,
+				Server:     local,
+				Router:     router,
+				Tracer:     tracer,
+				Fault:      inj,
+			})
+			if err != nil {
+				fail("router recorder: %v", err)
+			}
+			routerRec.Arm(routerSampler)
+			recorders = append([]*capscope.Recorder{routerRec}, backendRecorders...)
+			incidentHandler = capscope.Handler(recorders...)
+			router.Mount("/debug/incident", incidentHandler)
+			router.AddMetrics(routerRec.WriteMetrics)
+			fmt.Printf("caprouter: incident recorders armed (router + %d backends), bundles under %s\n",
+				len(backendRecorders), *incidentDir)
+		}
 		routerSampler.Start()
 		defer routerSampler.Stop()
 		defer func() {
@@ -269,6 +333,9 @@ func main() {
 		}
 		if inj != nil {
 			dmux.Handle("/debug/fault", inj.DebugHandler())
+		}
+		if incidentHandler != nil {
+			dmux.Handle("/debug/incident", incidentHandler)
 		}
 		go func() {
 			fmt.Printf("caprouter: pprof/trace/watch on http://%s/debug/\n", *debugAddr)
@@ -341,6 +408,12 @@ func main() {
 		// In-flight handlers are done, so closing the local runtime
 		// cannot block on live divisions.
 		localRT.Close()
+	}
+	for _, r := range recorders {
+		// Let in-flight incident captures land their bundles before the
+		// process exits — a flight recorder that loses the crash-adjacent
+		// bundle is not one.
+		r.Close()
 	}
 	fmt.Printf("caprouter: final stats: %s\n", router.Stats())
 	for _, b := range router.Backends() {

@@ -10,7 +10,9 @@
 //	capserve -throttle=false -window 50us
 //	capserve -trace -trace-sample 16       # lifecycle tracing on /debug/trace
 //	capserve -watch-interval 1s -slo-p99 150ms -slo-avail 0.99   # /debug/watch telemetry
-//	capserve -debug-addr localhost:6060    # pprof + /debug/trace + /debug/watch side listener
+//	capserve -fault -debug-addr localhost:6060    # fault injection scripted via /debug/fault
+//	capserve -incident-dir /var/tmp/capscope      # burn-triggered incident bundles on /debug/incident
+//	capserve -debug-addr localhost:6060    # pprof + /debug/{trace,watch,fault,incident} side listener
 //
 // Shutdown is graceful: SIGINT/SIGTERM flips /healthz to 503, stops the
 // listener, lets in-flight requests finish (up to -drain), joins the
@@ -31,6 +33,8 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/capfault"
+	"repro/internal/capscope"
 	"repro/internal/capserve"
 	"repro/internal/capsule"
 	"repro/internal/captrace"
@@ -60,6 +64,11 @@ func main() {
 	sloAvail := flag.Float64("slo-avail", capwatch.DefaultAvailability, "SLO availability objective (fraction of valid requests served)")
 	sloFast := flag.Duration("slo-fast", capwatch.DefaultFastWindow, "fast burn-rate window")
 	sloSlow := flag.Duration("slo-slow", capwatch.DefaultSlowWindow, "slow burn-rate window")
+	fault := flag.Bool("fault", false, "arm the capfault injection layer around the serving handler, controlled via /debug/fault (backend-scoped rules match the trace source name)")
+	faultSeed := flag.Uint64("fault-seed", 1, "capfault decision-stream seed (same seed + same rules = same faults)")
+	incidentDir := flag.String("incident-dir", "", "capture burn-triggered incident bundles into this directory, served on /debug/incident (empty = off; requires -watch)")
+	incidentMax := flag.Int("incident-max", 0, "bound on resident incident bundles (0 = default)")
+	incidentCooldown := flag.Duration("incident-cooldown", 0, "per-trigger debounce between captures (0 = default)")
 	flag.Parse()
 
 	var tracer *captrace.Tracer
@@ -92,12 +101,21 @@ func main() {
 		fail("%v", err)
 	}
 
+	// The injector wraps the whole serving handler; disarmed (no rules
+	// installed) it is one atomic pointer load per request, so the wrap
+	// stays on whenever -fault is set and storms are scripted entirely
+	// through /debug/fault at runtime.
+	var inj *capfault.Injector
+	if *fault {
+		inj = capfault.New(*faultSeed)
+	}
+
+	source := *traceSource
+	if source == "" {
+		source = "capserve"
+	}
 	var sampler *capwatch.Sampler
 	if *watch {
-		source := *traceSource
-		if source == "" {
-			source = "capserve"
-		}
 		sampler, err = capwatch.New(capwatch.Config{
 			Source:   source,
 			Interval: *watchInterval,
@@ -120,6 +138,35 @@ func main() {
 		defer sampler.Stop()
 	}
 
+	// The incident recorder arms triggers on the sampler's tick — SLO
+	// budget exhaustion, throttle edges, shed storms — and captures a
+	// bundle (rollup + trace + profiles + fault rules) when one fires.
+	var recorder *capscope.Recorder
+	var incidentHandler http.Handler
+	if *incidentDir != "" {
+		if sampler == nil {
+			fail("-incident-dir requires -watch (the recorder rides the telemetry tick)")
+		}
+		recorder, err = capscope.New(capscope.Config{
+			Source:     source,
+			Dir:        *incidentDir,
+			MaxBundles: *incidentMax,
+			Cooldown:   *incidentCooldown,
+			Runtime:    rt,
+			Server:     srv,
+			Tracer:     tracer,
+			Fault:      inj,
+		})
+		if err != nil {
+			fail("%v", err)
+		}
+		recorder.Arm(sampler)
+		incidentHandler = capscope.Handler(recorder)
+		srv.Mount("/debug/incident", incidentHandler)
+		srv.AddMetrics(recorder.WriteMetrics)
+		fmt.Printf("capserve: incident recorder armed, bundles in %s (max %d)\n", recorder.Dir(), *incidentMax)
+	}
+
 	if *debugAddr != "" {
 		// The debug side listener carries everything operational that is
 		// not serving traffic, so profiling and telemetry scrapes never
@@ -132,6 +179,14 @@ func main() {
 		if sampler != nil {
 			dmux.Handle("GET /debug/watch", capwatch.Handler(sampler))
 		}
+		// Every debug surface lives on this one port: fault scripting
+		// and incident bundles alongside pprof/trace/watch.
+		if inj != nil {
+			dmux.Handle("/debug/fault", inj.DebugHandler())
+		}
+		if incidentHandler != nil {
+			dmux.Handle("/debug/incident", incidentHandler)
+		}
 		go func() {
 			fmt.Printf("capserve: pprof/trace/watch on http://%s/debug/\n", *debugAddr)
 			if err := http.ListenAndServe(*debugAddr, dmux); err != nil {
@@ -140,7 +195,11 @@ func main() {
 		}()
 	}
 
-	hs := &http.Server{Addr: *addr, Handler: srv}
+	var handler http.Handler = srv
+	if inj != nil {
+		handler = inj.Handler(source, srv)
+	}
+	hs := &http.Server{Addr: *addr, Handler: handler}
 	fmt.Printf("capserve: listening on %s (contexts=%d queue=%d throttle=%v trace=%v)\n",
 		*addr, rt.Contexts(), srv.QueueDepth(), *throttle, *trace)
 
@@ -168,6 +227,11 @@ func main() {
 		// per-context worker goroutines — the full runtime shutdown, of
 		// which the old Join was just the first half.
 		rt.Close()
+	}
+	if recorder != nil {
+		// Let any in-flight incident capture land its bundle: the whole
+		// point of a flight recorder is surviving the crash-adjacent exit.
+		recorder.Close()
 	}
 	fmt.Printf("capserve: final stats: %s\n", rt.Stats())
 }

@@ -9,9 +9,12 @@
 // and disabled ~0% (the trace_overhead section, gated in CI). The
 // "watch/..." pairs do the same for the capwatch telemetry sampler —
 // armed at its production tick, budgeted at ≤2% (watch_overhead) — and
-// the serving measurement runs with a sampler armed, recording its SLO
+// the "incident/..." pairs hold the capscope flight recorder to the
+// same ceiling on top of an already-armed sampler (incident_overhead).
+// The serving measurement runs with a sampler armed, recording its SLO
 // verdict (the slo block) so the burn-rate evaluator's output is part
-// of the tracked trajectory.
+// of the tracked trajectory, and the incident block stages an SLO burn
+// end-to-end and asserts the recorder captured a complete bundle.
 //
 // It also runs a cluster scenario: three in-process capserve backends
 // behind a capcluster router, one killed at halftime — the tracked
@@ -43,9 +46,12 @@ import (
 	"time"
 
 	"repro/internal/capcluster"
+	"repro/internal/capfault"
+	"repro/internal/capscope"
 	"repro/internal/capserve"
 	"repro/internal/capsule"
 	"repro/internal/capsule/hotpath"
+	"repro/internal/captrace"
 	"repro/internal/capwatch"
 	"repro/internal/httptune"
 )
@@ -103,6 +109,14 @@ type report struct {
 	// traffic, not contention).
 	WatchOverhead map[string]watchOverheadResult `json:"watch_overhead,omitempty"`
 
+	// IncidentOverhead folds the "incident/..." case pairs into per-path
+	// capscope budgets: both sides run an armed sampler at the
+	// production tick, and armed additionally rides a recorder on the
+	// tick with triggers that never fire — so the pair isolates what
+	// *arming the flight recorder* adds on top of already-on telemetry
+	// (budgeted at ≤2% probe / ≤5% divide in CI).
+	IncidentOverhead map[string]watchOverheadResult `json:"incident_overhead,omitempty"`
+
 	// FaultOverhead is the capfault budget: the disarmed injection layer
 	// (wrapping installed, zero rules) against its unwrapped twin at both
 	// wrap points. CI gates disarmed at noise — the wraps are meant to
@@ -117,6 +131,12 @@ type report struct {
 	// partition scenarios, each gated in CI on zero failed client
 	// requests.
 	Chaos *chaosResult `json:"chaos,omitempty"`
+
+	// Incident is the staged-burn flight-recorder scenario: a scripted
+	// overload must exhaust the SLO budget and capscope must land at
+	// least one complete bundle. Gated in CI on bundles >= 1 with the
+	// core artifacts present.
+	Incident *incidentResult `json:"incident,omitempty"`
 }
 
 // traceOverheadResult is one hot path's off/armed/traced comparison.
@@ -128,11 +148,30 @@ type traceOverheadResult struct {
 	TracedOverheadPct float64 `json:"traced_overhead_pct"`
 }
 
-// watchOverheadResult is one hot path's off/armed sampler comparison.
+// watchOverheadResult is one hot path's off/armed sampler comparison
+// (shared by the watch_overhead and incident_overhead sections — both
+// are "what does arming this layer add" pairs).
 type watchOverheadResult struct {
 	OffNsPerOp       float64 `json:"off_ns_per_op"`
 	ArmedNsPerOp     float64 `json:"armed_ns_per_op"`
 	ArmedOverheadPct float64 `json:"armed_overhead_pct"`
+}
+
+// incidentResult is the staged-burn scenario's tracked outcome: a
+// closed-loop overload against a tiny accept queue sheds hard enough
+// to exhaust the availability budget in both burn windows, and the
+// armed recorder must catch it.
+type incidentResult struct {
+	Bundles   int      `json:"bundles"`
+	Trigger   string   `json:"trigger"`
+	Reason    string   `json:"reason"`
+	FastBurn  float64  `json:"fast_burn"`
+	SlowBurn  float64  `json:"slow_burn"`
+	CooldownS float64  `json:"cooldown_s"`
+	Files     []string `json:"files"`
+	Requests  int      `json:"requests"`
+	Sheds     int      `json:"sheds"`
+	DurationS float64  `json:"duration_s"`
 }
 
 type stormResult struct {
@@ -201,6 +240,9 @@ func main() {
 	chaos := flag.Bool("chaos", true, "also run the capfault chaos storms (churn, slow backend, partition)")
 	chaosDur := flag.Duration("chaos-duration", 2*time.Second, "duration of each chaos storm")
 	chaosN := flag.Int("chaos-n", 400, "chaos storm request input size")
+	incident := flag.Bool("incident", true, "also run the staged-burn capscope scenario (overload until the SLO budget exhausts, assert a bundle lands)")
+	incidentDur := flag.Duration("incident-duration", 2*time.Second, "staged-burn scenario duration")
+	incidentN := flag.Int("incident-n", 30000, "staged-burn scenario request input size (big enough that the closed loop overruns the latency target)")
 	flag.Parse()
 
 	start := time.Now()
@@ -232,7 +274,7 @@ func main() {
 	}
 	var overheadCases []hotpath.Case
 	for _, c := range hotpath.Cases() {
-		if strings.HasPrefix(c.Name, "trace/") || strings.HasPrefix(c.Name, "watch/") {
+		if strings.HasPrefix(c.Name, "trace/") || strings.HasPrefix(c.Name, "watch/") || strings.HasPrefix(c.Name, "incident/") {
 			overheadCases = append(overheadCases, c)
 			continue
 		}
@@ -303,6 +345,22 @@ func main() {
 		fmt.Printf("watch overhead %-28s armed %+6.1f%%\n", path, wo.ArmedOverheadPct)
 	}
 
+	r.IncidentOverhead = map[string]watchOverheadResult{}
+	for _, path := range []string{"probe_granted_serial", "probe_granted_parallel_4x", "divide_granted"} {
+		off := r.Results["incident/"+path+"_off"]
+		armed := r.Results["incident/"+path+"_armed"]
+		if off.NsPerOp <= 0 {
+			continue
+		}
+		ov := watchOverheadResult{
+			OffNsPerOp:       off.NsPerOp,
+			ArmedNsPerOp:     armed.NsPerOp,
+			ArmedOverheadPct: 100 * (armed.NsPerOp/off.NsPerOp - 1),
+		}
+		r.IncidentOverhead[path] = ov
+		fmt.Printf("incident overhead %-25s armed %+6.1f%%\n", path, ov.ArmedOverheadPct)
+	}
+
 	r.Storm = divideStorm(*stormDur)
 	fmt.Printf("storm: %d goroutines on %d contexts: %d probes, grant rate %.3f\n",
 		r.Storm.Goroutines, r.Storm.Contexts, r.Storm.Probes, r.Storm.GrantRate)
@@ -351,6 +409,16 @@ func main() {
 			ch.Slow.Ejections, ch.Slow.Readmitted, ch.Slow.Requests, ch.Slow.Errors)
 		fmt.Printf("chaos partition: %d deaths, %d breaker denies, max latency %.0fms: %d requests, %d errors\n",
 			ch.Partition.Deaths, ch.Partition.BreakerDenies, ch.Partition.MaxLatencyMS, ch.Partition.Requests, ch.Partition.Errors)
+	}
+
+	if *incident {
+		inc, err := incidentLoop(*incidentDur, *incidentN)
+		if err != nil {
+			fail("incident scenario: %v", err)
+		}
+		r.Incident = inc
+		fmt.Printf("incident: %d bundle(s), trigger %s (fast burn %.1f, slow %.1f), %d requests / %d sheds, files %v\n",
+			inc.Bundles, inc.Trigger, inc.FastBurn, inc.SlowBurn, inc.Requests, inc.Sheds, inc.Files)
 	}
 
 	r.DurationS = time.Since(start).Seconds()
@@ -595,6 +663,135 @@ func clusterLoop(d time.Duration, n int) (*clusterResult, error) {
 		Deaths:          s.Deaths,
 		BreakerDenies:   s.BreakerDenies,
 		DurationS:       elapsed.Seconds(),
+	}, nil
+}
+
+// incidentLoop stages a burn and verifies the flight recorder catches
+// it end-to-end, in-process: a single-context capserve with a tiny
+// accept queue under a closed-loop client swarm overruns the 25ms
+// latency target (and sheds with 503 when the queue fills), exhausting
+// the error budget in both burn windows — the armed capscope recorder
+// must fire and land at least one complete bundle. A capfault latency
+// rule is armed through the same injector the real fleet uses, so the
+// bundle's fault.json records the storm that staged the incident — the
+// artifact tells the story.
+func incidentLoop(d time.Duration, n int) (*incidentResult, error) {
+	dir, err := os.MkdirTemp("", "capstress-incident-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	tracer := captrace.New(0, 2048)
+	rt := capsule.New(capsule.Config{Contexts: 1, Tracer: tracer})
+	defer rt.Close()
+	srv, err := capserve.New(capserve.Config{Runtime: rt, QueueDepth: 2})
+	if err != nil {
+		return nil, err
+	}
+	inj := capfault.New(1)
+	if _, err := inj.Set(capfault.Rule{Kind: capfault.KindLatency, Delay: 2 * time.Millisecond}); err != nil {
+		return nil, err
+	}
+	// Windows scaled to the run: both must be covered by resident
+	// samples before Exhausted can go true, so the first capture lands
+	// about one slow window in.
+	sampler, err := capwatch.New(capwatch.Config{
+		Source:   "capstress-incident",
+		Interval: 50 * time.Millisecond,
+		Runtime:  rt,
+		Server:   srv,
+		SLO: capwatch.SLOConfig{
+			TargetP99:  25 * time.Millisecond,
+			FastWindow: d / 4,
+			SlowWindow: d / 2,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	rec, err := capscope.New(capscope.Config{
+		Source:          "capstress-incident",
+		Dir:             dir,
+		MaxBundles:      4,
+		Cooldown:        d / 4,
+		ProfileDuration: 100 * time.Millisecond,
+		Runtime:         rt,
+		Server:          srv,
+		Tracer:          tracer,
+		Fault:           inj,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rec.Arm(sampler)
+	sampler.Start()
+	ts := httptest.NewServer(inj.Handler("capstress-incident", srv))
+
+	clients := 2 * runtime.GOMAXPROCS(0)
+	if clients < 16 {
+		clients = 16
+	}
+	client := httptune.Client(clients, 10*time.Second)
+	var requests, sheds atomic.Int64
+	deadline := time.Now().Add(d)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; time.Now().Before(deadline); i++ {
+				url := fmt.Sprintf("%s/run/quicksort?n=%d&seed=%d", ts.URL, n, c*1000+i%64)
+				resp, err := client.Get(url)
+				if err != nil {
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					requests.Add(1)
+				} else {
+					sheds.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	rt.Join()
+	sampler.SampleNow() // closing tick: one last trigger evaluation over the tail
+	ts.Close()
+	sampler.Stop()
+	rec.Close() // waits for the in-flight capture to land
+
+	ms := capscope.LoadManifests(dir)
+	if len(ms) == 0 {
+		return nil, fmt.Errorf("staged burn produced no incident bundle (%d ok / %d shed)", requests.Load(), sheds.Load())
+	}
+	newest := ms[len(ms)-1]
+	for _, want := range []string{capscope.FileWatch, capscope.FileTrace, capscope.FileHeap} {
+		found := false
+		for _, f := range newest.Files {
+			if f == want {
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("bundle %s missing %s (files %v, notes %v)", newest.ID, want, newest.Files, newest.Notes)
+		}
+	}
+	return &incidentResult{
+		Bundles:   len(ms),
+		Trigger:   newest.Trigger,
+		Reason:    newest.Reason,
+		FastBurn:  newest.SLO.Fast.Burn,
+		SlowBurn:  newest.SLO.Slow.Burn,
+		CooldownS: newest.CooldownS,
+		Files:     newest.Files,
+		Requests:  int(requests.Load()),
+		Sheds:     int(sheds.Load()),
+		DurationS: elapsed.Seconds(),
 	}, nil
 }
 

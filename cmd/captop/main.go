@@ -16,6 +16,12 @@
 // In -json mode the output is the decoded report array exactly as the
 // fleet produced it (always an array, even for a lone capserve), which
 // is what the CI watch-smoke step asserts against.
+//
+// With -once the exit status is meaningful: 0 when every row's error
+// budget has headroom, 3 when any row reports SLO budget exhaustion
+// (fast and slow windows both burning at >= 1), 1 on fetch errors.
+// The INC column counts capscope incident bundles captured by that
+// process since start.
 package main
 
 import (
@@ -63,6 +69,15 @@ func main() {
 			render(os.Stdout, endpoint, reps)
 		}
 		if *once {
+			// Exit 3 when any row's error budget is exhausted (fast AND
+			// slow windows burning at >= 1) — scriptable paging: a cron
+			// or CI gate distinguishes "fleet unhealthy" (3) from
+			// "couldn't ask" (1) without parsing the frame.
+			for _, r := range reps {
+				if r.SLO.Exhausted {
+					os.Exit(3)
+				}
+			}
 			return
 		}
 		time.Sleep(*interval)
@@ -114,9 +129,9 @@ func render(w io.Writer, endpoint string, reps []capwatch.Report) {
 		gauges[br.Name] = gauge{credits: br.Credits, inflight: br.Inflight, broken: br.Broken, known: true}
 	}
 
-	const hdr = "%-22s %-7s %8s %7s %6s %8s %4s %9s %7s %7s\n"
-	const row = "%-22s %-7s %8.1f %6.1f%% %6s %8s %4s %9.2f %6.2f%% %7.2f\n"
-	fmt.Fprintf(w, hdr, "SOURCE", "TIER", "REQ/S", "GRANT", "QUEUE", "CREDITS", "BRK", "P99(MS)", "AVAIL", "BURN")
+	const hdr = "%-22s %-7s %8s %7s %6s %8s %4s %9s %7s %7s %4s\n"
+	const row = "%-22s %-7s %8.1f %6.1f%% %6s %8s %4s %9.2f %6.2f%% %7.2f %4d\n"
+	fmt.Fprintf(w, hdr, "SOURCE", "TIER", "REQ/S", "GRANT", "QUEUE", "CREDITS", "BRK", "P99(MS)", "AVAIL", "BURN", "INC")
 	for _, r := range reps {
 		queue := fmt.Sprintf("%d/%d", r.QueueOccupancy, r.QueueDepth)
 		credits, brk := "-", "-"
@@ -135,7 +150,7 @@ func render(w io.Writer, endpoint string, reps []capwatch.Report) {
 		}
 		fmt.Fprintf(w, row,
 			r.Source+marker, r.Tier, r.Rates.RequestsPerSec, 100*r.Rates.GrantRate,
-			queue, credits, brk, r.Latency.P99MS, 100*r.Rates.Availability, burn)
+			queue, credits, brk, r.Latency.P99MS, 100*r.Rates.Availability, burn, r.Incidents)
 	}
 
 	if lead.Router != nil {

@@ -1,0 +1,363 @@
+package capscope
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/capsule"
+	"repro/internal/captrace"
+	"repro/internal/capwatch"
+)
+
+// newThrottledRuntime builds a runtime whose death-rate throttle trips
+// on the first worker death and stays tripped for an hour — so every
+// subsequent TryDivide is a throttle deny, giving tests a sustained
+// trigger condition they can produce on demand.
+func newThrottledRuntime(t *testing.T) *capsule.Runtime {
+	t.Helper()
+	rt, err := capsule.NewValidated(capsule.Config{
+		Contexts:       2,
+		Throttle:       true,
+		DeathWindow:    time.Hour,
+		DeathThreshold: 1,
+	})
+	if err != nil {
+		t.Fatalf("runtime: %v", err)
+	}
+	t.Cleanup(rt.Close)
+	return rt
+}
+
+func tripThrottle(t *testing.T, rt *capsule.Runtime) {
+	t.Helper()
+	for i := 0; i < 4; i++ {
+		rt.TryDivide(func() {})
+	}
+	rt.Join()
+	deadline := time.Now().Add(2 * time.Second)
+	for rt.Stats().ThrottleDenies == 0 {
+		rt.TryDivide(func() {})
+		if time.Now().After(deadline) {
+			t.Fatalf("throttle did not trip: %+v", rt.Stats())
+		}
+	}
+}
+
+// testRecorder wires a recorder to a manually-ticked sampler with a
+// fake clock and CPU profiling disabled (captures land synchronously
+// via wg.Wait, and cooldowns are driven by the clock, not sleeps).
+func testRecorder(t *testing.T, rt *capsule.Runtime, cfg Config) (*Recorder, *capwatch.Sampler, *time.Time) {
+	t.Helper()
+	if cfg.Dir == "" {
+		cfg.Dir = t.TempDir()
+	}
+	cfg.Runtime = rt
+	if cfg.ProfileDuration == 0 {
+		cfg.ProfileDuration = -1
+	}
+	s, err := capwatch.New(capwatch.Config{Runtime: rt, Interval: 50 * time.Millisecond, Source: "test"})
+	if err != nil {
+		t.Fatalf("sampler: %v", err)
+	}
+	rec, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	clock := time.Now()
+	rec.now = func() time.Time { return clock }
+	rec.Arm(s)
+	t.Cleanup(rec.Close)
+	return rec, s, &clock
+}
+
+func TestNewValidates(t *testing.T) {
+	rt := newThrottledRuntime(t)
+	if _, err := New(Config{Runtime: rt}); err == nil {
+		t.Error("New accepted an empty Dir")
+	}
+	if _, err := New(Config{Dir: t.TempDir()}); err == nil {
+		t.Error("New accepted a nil Runtime")
+	}
+	if _, err := New(Config{Dir: t.TempDir(), Runtime: rt, Cooldown: -time.Second}); err == nil {
+		t.Error("New accepted a negative cooldown")
+	}
+}
+
+// TestArmDoesNotFireOnHistory: counters that were already nonzero when
+// the recorder armed must not produce a bundle — the first tick primes.
+func TestArmDoesNotFireOnHistory(t *testing.T) {
+	rt := newThrottledRuntime(t)
+	tripThrottle(t, rt) // denies exist before arming
+	rec, s, clock := testRecorder(t, rt, Config{})
+	s.SampleNow() // prime
+	*clock = clock.Add(time.Second)
+	s.SampleNow() // no new denies since prime
+	rec.wg.Wait()
+	if got := len(LoadManifests(rec.Dir())); got != 0 {
+		t.Fatalf("armed recorder fired on pre-existing counters: %d bundles", got)
+	}
+	if rec.Incidents() != 0 {
+		t.Fatalf("incidents = %d, want 0", rec.Incidents())
+	}
+}
+
+// TestDebounce is the acceptance-criteria test: a sustained trigger
+// condition yields one bundle per cooldown, not one per tick.
+func TestDebounce(t *testing.T) {
+	rt := newThrottledRuntime(t)
+	rec, s, clock := testRecorder(t, rt, Config{Cooldown: time.Minute})
+	tripThrottle(t, rt)
+	s.SampleNow() // prime tick
+
+	// 20 ticks of sustained throttle denies inside one cooldown.
+	for i := 0; i < 20; i++ {
+		rt.TryDivide(func() {}) // denied: the condition holds every tick
+		*clock = clock.Add(time.Second)
+		s.SampleNow()
+	}
+	rec.wg.Wait()
+	if got := rec.Incidents(); got != 1 {
+		t.Fatalf("sustained burn inside one cooldown: %d bundles, want exactly 1", got)
+	}
+
+	// Crossing the cooldown boundary allows exactly one more.
+	*clock = clock.Add(2 * time.Minute)
+	rt.TryDivide(func() {})
+	s.SampleNow()
+	rec.wg.Wait()
+	if got := rec.Incidents(); got != 2 {
+		t.Fatalf("after cooldown expiry: %d bundles, want 2", got)
+	}
+	ms := LoadManifests(rec.Dir())
+	if len(ms) != 2 {
+		t.Fatalf("resident bundles = %d, want 2", len(ms))
+	}
+	for _, m := range ms {
+		if m.Trigger != TriggerThrottleEdge {
+			t.Errorf("trigger = %q, want %q", m.Trigger, TriggerThrottleEdge)
+		}
+		if m.Reason == "" {
+			t.Errorf("bundle %s has no reason", m.ID)
+		}
+		if m.CooldownS != 60 {
+			t.Errorf("cooldown_s = %g, want 60", m.CooldownS)
+		}
+	}
+	if ms[0].Seq >= ms[1].Seq {
+		t.Errorf("sequence not monotonic: %d then %d", ms[0].Seq, ms[1].Seq)
+	}
+}
+
+// TestBundleContents checks a captured bundle is self-contained:
+// manifest + rollup + trace + heap profile + goroutine dump (CPU
+// profile disabled here; the capstress staged-burn scenario and the CI
+// smoke cover the real burst).
+func TestBundleContents(t *testing.T) {
+	tr := captrace.New(4, 1024)
+	rt, err := capsule.NewValidated(capsule.Config{
+		Contexts: 2, Throttle: true, DeathWindow: time.Hour, DeathThreshold: 1,
+		Tracer: tr,
+	})
+	if err != nil {
+		t.Fatalf("runtime: %v", err)
+	}
+	t.Cleanup(rt.Close)
+	rec, s, clock := testRecorder(t, rt, Config{Source: "unit"})
+	tripThrottle(t, rt)
+	s.SampleNow()
+	rt.TryDivide(func() {})
+	*clock = clock.Add(time.Second)
+	s.SampleNow()
+	rec.wg.Wait()
+
+	ms := LoadManifests(rec.Dir())
+	if len(ms) != 1 {
+		t.Fatalf("bundles = %d, want 1", len(ms))
+	}
+	m := ms[0]
+	if m.Source != "unit" {
+		t.Errorf("source = %q", m.Source)
+	}
+	for _, want := range []string{FileWatch, FileTrace, FileHeap, FileGoroutines} {
+		found := false
+		for _, f := range m.Files {
+			if f == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("manifest files %v missing %s", m.Files, want)
+		}
+	}
+	b, err := LoadBundle(filepath.Join(rec.Dir(), m.ID))
+	if err != nil {
+		t.Fatalf("LoadBundle: %v", err)
+	}
+	var rep capwatch.Report
+	if err := json.Unmarshal(b.Watch, &rep); err != nil {
+		t.Fatalf("watch.json: %v", err)
+	}
+	if rep.Source != "test" {
+		t.Errorf("rollup source = %q", rep.Source)
+	}
+	snaps, err := captrace.DecodeSnapshots(strings.NewReader(string(b.Trace)))
+	if err != nil {
+		t.Fatalf("trace.json: %v", err)
+	}
+	if len(snaps) != 1 || len(snaps[0].Events) == 0 {
+		t.Errorf("trace snapshot empty (the divisions above were traced)")
+	}
+	if len(b.HeapProfile) == 0 {
+		t.Errorf("no heap profile")
+	}
+	if !strings.Contains(b.Goroutines, "goroutine") {
+		t.Errorf("goroutine dump looks empty: %q", b.Goroutines[:min(80, len(b.Goroutines))])
+	}
+	if b.Manifest.SLO.TargetP99MS <= 0 {
+		t.Errorf("manifest SLO block missing: %+v", b.Manifest.SLO)
+	}
+}
+
+// TestPruneAndRestart: the on-disk ring holds MaxBundles, survives a
+// recorder restart, and the sequence keeps climbing past pruned ids.
+func TestPruneAndRestart(t *testing.T) {
+	rt := newThrottledRuntime(t)
+	dir := t.TempDir()
+	rec, s, clock := testRecorder(t, rt, Config{Dir: dir, MaxBundles: 2, Cooldown: time.Second})
+	tripThrottle(t, rt)
+	s.SampleNow()
+	for i := 0; i < 4; i++ {
+		rt.TryDivide(func() {})
+		*clock = clock.Add(2 * time.Second)
+		s.SampleNow()
+		rec.wg.Wait()
+	}
+	if got := rec.Incidents(); got != 4 {
+		t.Fatalf("incidents = %d, want 4", got)
+	}
+	ms := LoadManifests(dir)
+	if len(ms) != 2 {
+		t.Fatalf("resident = %d, want 2 after prune", len(ms))
+	}
+	if ms[0].Seq != 2 || ms[1].Seq != 3 {
+		t.Fatalf("pruned wrong end: kept seqs %d,%d want 2,3", ms[0].Seq, ms[1].Seq)
+	}
+	rec.Close()
+
+	// A new recorder over the same dir indexes the survivors and
+	// continues the sequence — restarts don't recycle bundle ids.
+	rec2, err := New(Config{Dir: dir, Runtime: rt, MaxBundles: 2})
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	if rec2.seq != 4 {
+		t.Fatalf("restart seq = %d, want 4", rec2.seq)
+	}
+	if got := len(LoadManifests(dir)); got != 2 {
+		t.Fatalf("restart lost bundles: %d", got)
+	}
+	// Torn temp dirs from a crash are swept.
+	os.MkdirAll(filepath.Join(dir, ".tmp-inc-000099-x-1"), 0o755)
+	if _, err := New(Config{Dir: dir, Runtime: rt}); err != nil {
+		t.Fatalf("New over torn dir: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, ".tmp-inc-000099-x-1")); !os.IsNotExist(err) {
+		t.Errorf("torn temp dir not swept")
+	}
+}
+
+// TestHandler pins the /debug/incident contract: object for one
+// recorder, array for a fleet, ?id= fetch, DELETE semantics, and
+// DecodeLists reading both shapes.
+func TestHandler(t *testing.T) {
+	rt := newThrottledRuntime(t)
+	rec, s, clock := testRecorder(t, rt, Config{Source: "alpha", Cooldown: time.Second})
+	tripThrottle(t, rt)
+	s.SampleNow()
+	rt.TryDivide(func() {})
+	*clock = clock.Add(2 * time.Second)
+	s.SampleNow()
+	rec.wg.Wait()
+	if rec.Incidents() != 1 {
+		t.Fatalf("want 1 incident, got %d", rec.Incidents())
+	}
+
+	other, err := New(Config{Dir: t.TempDir(), Runtime: rt, Source: "beta"})
+	if err != nil {
+		t.Fatalf("second recorder: %v", err)
+	}
+
+	// Single recorder: object shape.
+	w := httptest.NewRecorder()
+	Handler(rec).ServeHTTP(w, httptest.NewRequest("GET", "/debug/incident", nil))
+	body := w.Body.Bytes()
+	if body[0] == '[' {
+		t.Fatalf("single recorder served an array")
+	}
+	lists, err := DecodeLists(body)
+	if err != nil {
+		t.Fatalf("DecodeLists(object): %v", err)
+	}
+	if len(lists) != 1 || lists[0].Source != "alpha" || len(lists[0].Bundles) != 1 {
+		t.Fatalf("bad list: %+v", lists)
+	}
+	id := lists[0].Bundles[0].ID
+
+	// Fleet: array shape, own list first.
+	w = httptest.NewRecorder()
+	Handler(rec, other).ServeHTTP(w, httptest.NewRequest("GET", "/debug/incident", nil))
+	if w.Body.Bytes()[0] != '[' {
+		t.Fatalf("fleet handler did not serve an array")
+	}
+	lists, err = DecodeLists(w.Body.Bytes())
+	if err != nil {
+		t.Fatalf("DecodeLists(array): %v", err)
+	}
+	if len(lists) != 2 || lists[0].Source != "alpha" || lists[1].Source != "beta" {
+		t.Fatalf("bad fleet lists: %+v", lists)
+	}
+
+	// Fetch one bundle by id through the merged handler.
+	w = httptest.NewRecorder()
+	Handler(other, rec).ServeHTTP(w, httptest.NewRequest("GET", "/debug/incident?id="+id, nil))
+	if w.Code != 200 {
+		t.Fatalf("fetch %s: %d %s", id, w.Code, w.Body.String())
+	}
+	var b Bundle
+	if err := json.Unmarshal(w.Body.Bytes(), &b); err != nil {
+		t.Fatalf("bundle decode: %v", err)
+	}
+	if b.Manifest.ID != id || len(b.Trace) == 0 {
+		t.Fatalf("bundle incomplete: %+v", b.Manifest)
+	}
+
+	// Unknown id: 404. Path escapes: rejected.
+	w = httptest.NewRecorder()
+	Handler(rec).ServeHTTP(w, httptest.NewRequest("GET", "/debug/incident?id=inc-nope", nil))
+	if w.Code != 404 {
+		t.Fatalf("unknown id: %d", w.Code)
+	}
+	w = httptest.NewRecorder()
+	Handler(rec).ServeHTTP(w, httptest.NewRequest("GET", "/debug/incident?id=../../etc", nil))
+	if w.Code != 404 {
+		t.Fatalf("traversal id: %d", w.Code)
+	}
+
+	// DELETE clears; list is then empty but incidents_total persists.
+	w = httptest.NewRecorder()
+	Handler(rec, other).ServeHTTP(w, httptest.NewRequest("DELETE", "/debug/incident", nil))
+	if w.Code != 200 || !strings.Contains(w.Body.String(), "\"cleared\":1") {
+		t.Fatalf("delete: %d %s", w.Code, w.Body.String())
+	}
+	if got := len(LoadManifests(rec.Dir())); got != 0 {
+		t.Fatalf("bundles survive DELETE: %d", got)
+	}
+	if rec.Incidents() != 1 {
+		t.Fatalf("incident counter reset by DELETE")
+	}
+}

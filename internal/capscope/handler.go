@@ -1,0 +1,119 @@
+package capscope
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// /debug/incident follows /debug/trace's merge convention exactly: a
+// lone capserve serves a single List object; a router that also owns
+// its spawned backends' recorders serves a JSON array, its own list
+// first, so one URL yields the whole fleet's incidents. ?id= fetches
+// one bundle in full (searched across every recorder); DELETE clears
+// (?id= for one bundle, bare for everything).
+
+// List is one recorder's incident index — the GET /debug/incident
+// response shape.
+type List struct {
+	Source         string     `json:"source"`
+	Dir            string     `json:"dir"`
+	IncidentsTotal uint64     `json:"incidents_total"` // captured this process lifetime
+	Bundles        []Manifest `json:"bundles"`         // resident on disk, oldest first
+}
+
+// listOf builds the recorder's current index.
+func (r *Recorder) listOf() List {
+	ms := LoadManifests(r.dir)
+	if ms == nil {
+		ms = []Manifest{}
+	}
+	return List{Source: r.source, Dir: r.dir, IncidentsTotal: r.incidents.Load(), Bundles: ms}
+}
+
+// Handler serves GET/DELETE /debug/incident over the given recorders
+// (a router passes itself first, then its spawned backends').
+func Handler(recs ...*Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		id := req.URL.Query().Get("id")
+		switch req.Method {
+		case http.MethodGet:
+			if id != "" {
+				for _, r := range recs {
+					m, err := LoadManifest(bundlePath(r, id))
+					if err != nil || m.ID != id {
+						continue
+					}
+					b, err := LoadBundle(bundlePath(r, id))
+					if err != nil {
+						continue
+					}
+					w.Header().Set("Content-Type", "application/json")
+					json.NewEncoder(w).Encode(b)
+					return
+				}
+				http.Error(w, fmt.Sprintf("no bundle %q", id), http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			if len(recs) == 1 {
+				enc.Encode(recs[0].listOf())
+				return
+			}
+			lists := make([]List, 0, len(recs))
+			for _, r := range recs {
+				lists = append(lists, r.listOf())
+			}
+			enc.Encode(lists)
+		case http.MethodDelete:
+			n := 0
+			for _, r := range recs {
+				if id != "" {
+					n += r.Clear(id)
+				} else {
+					n += r.ClearAll()
+				}
+			}
+			if id != "" && n == 0 {
+				http.Error(w, fmt.Sprintf("no bundle %q", id), http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintf(w, "{\"cleared\":%d}\n", n)
+		default:
+			w.Header().Set("Allow", "GET, DELETE")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+}
+
+func bundlePath(r *Recorder, id string) string {
+	if !validBundleID(id) {
+		return ""
+	}
+	return r.dir + "/" + id
+}
+
+// DecodeLists parses a GET /debug/incident body in either shape — a
+// single List object or an array — always returning a slice, so the
+// capscope CLI and smoke scripts don't care which topology they hit.
+func DecodeLists(data []byte) ([]List, error) {
+	trimmed := bytes.TrimSpace(data)
+	if len(trimmed) == 0 {
+		return nil, fmt.Errorf("capscope: empty incident response")
+	}
+	if trimmed[0] == '[' {
+		var lists []List
+		if err := json.Unmarshal(trimmed, &lists); err != nil {
+			return nil, fmt.Errorf("capscope: decoding incident array: %w", err)
+		}
+		return lists, nil
+	}
+	var l List
+	if err := json.Unmarshal(trimmed, &l); err != nil {
+		return nil, fmt.Errorf("capscope: decoding incident list: %w", err)
+	}
+	return []List{l}, nil
+}

@@ -20,11 +20,13 @@
 package hotpath
 
 import (
+	"os"
 	"runtime"
 	"strconv"
 	"testing"
 	"time"
 
+	"repro/internal/capscope"
 	"repro/internal/capsule"
 	"repro/internal/capsule/baseline"
 	"repro/internal/captrace"
@@ -93,6 +95,17 @@ func Cases() []Case {
 			Case{"watch/probe_granted_serial" + suffix, watchProbeGranted(0, armed)},
 			Case{"watch/probe_granted_parallel_4x" + suffix, watchProbeGranted(4, armed)},
 			Case{"watch/divide_granted" + suffix, watchDivideGranted(armed)},
+		)
+	}
+	for _, armed := range []bool{false, true} {
+		suffix := "_off"
+		if armed {
+			suffix = "_armed"
+		}
+		cases = append(cases,
+			Case{"incident/probe_granted_serial" + suffix, incidentProbeGranted(0, armed)},
+			Case{"incident/probe_granted_parallel_4x" + suffix, incidentProbeGranted(4, armed)},
+			Case{"incident/divide_granted" + suffix, incidentDivideGranted(armed)},
 		)
 	}
 	return cases
@@ -484,6 +497,107 @@ func watchDivideGranted(armed bool) func(b *testing.B) {
 		rt := capsule.New(capsule.Config{Contexts: divideContexts(), Throttle: false})
 		defer rt.Close()
 		stop := watchSampler(rt, armed)
+		defer stop()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for !rt.TryDivide(nop) {
+				runtime.Gosched()
+			}
+		}
+		b.StopTimer()
+		rt.Join()
+	}
+}
+
+// ---- incident: capscope recorder overhead on the canonical hot paths ----
+//
+// The capscope recorder never touches the probe/divide hot paths
+// either: disarmed it does not exist to them, and armed its entire
+// cost rides the capwatch sampling tick (one atomic hook load in
+// SampleNow plus a per-tick sweep of counters the writers already
+// maintain). Both states of each twin therefore carry a live sampler
+// at the production tick — the off case is exactly the watch armed
+// case — so the pair isolates what *arming the recorder* adds on top
+// of telemetry that is already on, not the sampler's own cost (that is
+// the watch family's job). The recorder's triggers cannot fire here:
+// no deaths (throttle quiescent), no server (no sheds, empty SLO
+// windows), no router. cmd/capstress folds the pairs into the report's
+// incident_overhead section, where CI budgets the armed overhead at
+// ≤2% on the probe paths and ≤5% on divide, the same ceilings as
+// watch.
+
+// incidentRecorder arms a live sampler over rt and, when armed, an
+// incident recorder riding its tick with triggers that never fire.
+// The returned stop func is the benchmark teardown.
+func incidentRecorder(b *testing.B, rt *capsule.Runtime, armed bool) (stop func()) {
+	s, err := capwatch.New(capwatch.Config{Runtime: rt})
+	if err != nil {
+		panic(err)
+	}
+	if !armed {
+		s.Start()
+		return s.Stop
+	}
+	dir, err := os.MkdirTemp("", "capscope-bench-")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec, err := capscope.New(capscope.Config{
+		Dir:             dir,
+		Runtime:         rt,
+		ProfileDuration: -1,        // a capture here would be a bug, but never burn CPU for it
+		Cooldown:        time.Hour, // and never twice
+	})
+	if err != nil {
+		os.RemoveAll(dir)
+		b.Fatal(err)
+	}
+	rec.Arm(s)
+	s.Start()
+	return func() {
+		s.Stop()
+		rec.Close()
+		os.RemoveAll(dir)
+	}
+}
+
+// incidentProbeGranted mirrors watchProbeGranted(armed) with the
+// recorder armed on top.
+func incidentProbeGranted(par int, armed bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		rt := capsule.New(capsule.Config{Contexts: probers(par), Throttle: true, DeathWindow: benchWindow})
+		defer rt.Close()
+		stop := incidentRecorder(b, rt, armed)
+		defer stop()
+		b.ReportAllocs()
+		b.ResetTimer()
+		if par == 0 {
+			for i := 0; i < b.N; i++ {
+				if c, ok := rt.Probe(); ok {
+					rt.Release(c)
+				}
+			}
+			return
+		}
+		b.SetParallelism(par)
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if c, ok := rt.Probe(); ok {
+					rt.Release(c)
+				}
+			}
+		})
+	}
+}
+
+// incidentDivideGranted is watchDivideGranted(armed) with the recorder
+// armed on top.
+func incidentDivideGranted(armed bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		rt := capsule.New(capsule.Config{Contexts: divideContexts(), Throttle: false})
+		defer rt.Close()
+		stop := incidentRecorder(b, rt, armed)
 		defer stop()
 		b.ReportAllocs()
 		b.ResetTimer()

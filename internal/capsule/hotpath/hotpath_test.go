@@ -110,6 +110,25 @@ func BenchmarkWatchProbeGrantedParallel4xArmed(b *testing.B) {
 func BenchmarkWatchDivideGrantedOff(b *testing.B)   { bench(b, "watch/divide_granted_off") }
 func BenchmarkWatchDivideGrantedArmed(b *testing.B) { bench(b, "watch/divide_granted_armed") }
 
+// The capscope overhead side (off = armed sampler only, armed = the
+// incident recorder riding the sampler's tick with triggers that never
+// fire). The armed cases double as -race coverage for the recorder's
+// per-tick trigger evaluation racing the live probe/divide paths.
+func BenchmarkIncidentProbeGrantedSerialOff(b *testing.B) {
+	bench(b, "incident/probe_granted_serial_off")
+}
+func BenchmarkIncidentProbeGrantedSerialArmed(b *testing.B) {
+	bench(b, "incident/probe_granted_serial_armed")
+}
+func BenchmarkIncidentProbeGrantedParallel4xOff(b *testing.B) {
+	bench(b, "incident/probe_granted_parallel_4x_off")
+}
+func BenchmarkIncidentProbeGrantedParallel4xArmed(b *testing.B) {
+	bench(b, "incident/probe_granted_parallel_4x_armed")
+}
+func BenchmarkIncidentDivideGrantedOff(b *testing.B)   { bench(b, "incident/divide_granted_off") }
+func BenchmarkIncidentDivideGrantedArmed(b *testing.B) { bench(b, "incident/divide_granted_armed") }
+
 // TestBaselineBehaves pins the foil to the old semantics, so the numbers
 // it produces keep meaning something: bounded pool, LIFO reuse, work runs
 // exactly once, Join covers spawns.

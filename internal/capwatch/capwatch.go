@@ -145,6 +145,16 @@ type Sampler struct {
 
 	rm rmReader // preallocated runtime/metrics buffers
 
+	// hook is the capscope attachment point: a copy-on-write function
+	// pointer run after every published snapshot, outside the ring lock.
+	// Disarmed cost is one nil atomic load per tick — the hot paths
+	// never see it at all (the tick goroutine pays it).
+	hook atomic.Pointer[func()]
+
+	// incidents supplies the capscope_incidents_total count for
+	// Report/WriteMetrics; nil until a recorder registers itself.
+	incidents atomic.Pointer[func() uint64]
+
 	startOnce sync.Once
 	stopOnce  sync.Once
 	stop      chan struct{}
@@ -264,7 +274,41 @@ func (s *Sampler) SampleNow() {
 	s.collect(&s.ring[c&s.mask])
 	s.cursor.Store(c + 1)
 	s.mu.Unlock()
+	// The hook runs after the unlock: it reads the ring back through
+	// Report/SLO, which take the read lock.
+	if f := s.hook.Load(); f != nil {
+		(*f)()
+	}
 }
+
+// OnSample installs f to run on the sampling goroutine after each
+// published snapshot (nil uninstalls). Copy-on-write: the disarmed
+// check in SampleNow is a single atomic pointer load. f may read the
+// ring (Report, SLO, Snapshot) but must not call SampleNow.
+func (s *Sampler) OnSample(f func()) {
+	if f == nil {
+		s.hook.Store(nil)
+		return
+	}
+	s.hook.Store(&f)
+}
+
+// SetIncidents registers a supplier for the incident count carried in
+// Report.Incidents and the capwatch exposition (capscope wires its
+// recorder's counter here so captop can show an `inc` column without a
+// second fetch).
+func (s *Sampler) SetIncidents(f func() uint64) {
+	if f == nil {
+		s.incidents.Store(nil)
+		return
+	}
+	s.incidents.Store(&f)
+}
+
+// SLO evaluates the burn-rate objectives against the ring right now.
+// This is the same evaluator /debug/watch embeds in every Report,
+// exported so trigger logic (capscope) can poll it per tick.
+func (s *Sampler) SLO() SLOReport { return s.evalSLO() }
 
 // collect fills one slot in place. Every read here is an atomic load
 // against counters the hot paths own — the whole aggregation cost of

@@ -278,3 +278,115 @@ func TestWriteMetrics(t *testing.T) {
 		}
 	}
 }
+
+// TestZeroWidthWindowClamp is the regression test for sub-tick rollup
+// windows: two snapshots taken microseconds apart used to divide the
+// counter deltas by the near-zero elapsed span, inflating rates toward
+// Inf. Rates must now divide by at least one tick, with the effective
+// divisor surfaced as window_clamped_s.
+func TestZeroWidthWindowClamp(t *testing.T) {
+	rt := newRuntime(t, 2)
+	s, err := New(Config{Runtime: rt, Interval: time.Second, Ring: minRing})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s.SampleNow()
+	const probes = 100
+	for i := 0; i < probes; i++ {
+		if c, ok := rt.Probe(); ok {
+			rt.Release(c)
+		}
+	}
+	s.SampleNow() // microseconds after the first
+
+	// A ?window= smaller than one tick must clamp, not divide by ~0.
+	rep := s.Report(time.Millisecond)
+	if rep.WindowClampedS < s.Interval().Seconds() {
+		t.Fatalf("window_clamped_s = %g, want >= the %gs tick", rep.WindowClampedS, s.Interval().Seconds())
+	}
+	if rep.Rates.ProbesPerSec > probes+1 {
+		t.Fatalf("probes_per_s = %g for %d probes over a clamped 1s window — the divisor was not clamped", rep.Rates.ProbesPerSec, probes)
+	}
+	// The delta reconstructs exactly from the effective divisor.
+	if got := rep.Rates.ProbesPerSec * rep.WindowClampedS; got < probes-1 || got > probes+1 {
+		t.Fatalf("rate %g x clamp %g = %g, want ~%d", rep.Rates.ProbesPerSec, rep.WindowClampedS, got, probes)
+	}
+	for name, v := range map[string]float64{
+		"probes_per_s":   rep.Rates.ProbesPerSec,
+		"grants_per_s":   rep.Rates.GrantsPerSec,
+		"requests_per_s": rep.Rates.RequestsPerSec,
+		"errors_per_s":   rep.Rates.ErrorsPerSec,
+	} {
+		if !finite(v) || v < 0 {
+			t.Fatalf("%s = %g not finite/non-negative under a zero-width window", name, v)
+		}
+	}
+
+	// A window wider than the covered span but >= one tick is honest:
+	// no clamp marker.
+	wide := s.Report(time.Minute)
+	if wide.WindowClampedS != 0 && wide.WindowActualS >= s.Interval().Seconds() {
+		t.Fatalf("wide window marked clamped: %+v", wide.WindowClampedS)
+	}
+}
+
+// TestOnSampleHook pins the capscope attachment point: the hook runs
+// once per published snapshot, outside the ring lock (it can read the
+// ring back), and uninstalls cleanly.
+func TestOnSampleHook(t *testing.T) {
+	rt := newRuntime(t, 2)
+	s, err := New(Config{Runtime: rt, Ring: minRing})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	var calls atomic.Int32
+	s.OnSample(func() {
+		calls.Add(1)
+		// Reading the ring from the hook must not deadlock.
+		if slo := s.SLO(); slo.TargetP99MS <= 0 {
+			t.Errorf("SLO from hook: %+v", slo)
+		}
+		_ = s.Report(0)
+	})
+	s.SampleNow()
+	s.SampleNow()
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("hook ran %d times for 2 snapshots", got)
+	}
+	s.OnSample(nil)
+	s.SampleNow()
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("uninstalled hook still ran (%d calls)", got)
+	}
+}
+
+// TestIncidentsPlumbing: a registered supplier shows up in Report and
+// survives round-tripping through the handler shapes.
+func TestIncidentsPlumbing(t *testing.T) {
+	rt := newRuntime(t, 2)
+	s, err := New(Config{Runtime: rt, Ring: minRing})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s.SampleNow()
+	if got := s.Report(0).Incidents; got != 0 {
+		t.Fatalf("unregistered incidents = %d", got)
+	}
+	s.SetIncidents(func() uint64 { return 7 })
+	if got := s.Report(0).Incidents; got != 7 {
+		t.Fatalf("incidents = %d, want 7", got)
+	}
+	rec := httptest.NewRecorder()
+	Handler(s).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/watch", nil))
+	reps, err := DecodeReports(rec.Body.Bytes())
+	if err != nil || len(reps) != 1 {
+		t.Fatalf("decode: %v", err)
+	}
+	if reps[0].Incidents != 7 {
+		t.Fatalf("handler incidents = %d, want 7", reps[0].Incidents)
+	}
+	s.SetIncidents(nil)
+	if got := s.Report(0).Incidents; got != 0 {
+		t.Fatalf("unregistered again, incidents = %d", got)
+	}
+}

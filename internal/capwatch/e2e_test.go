@@ -153,7 +153,14 @@ func TestRouterWatchCoversFleet(t *testing.T) {
 		if !routerBackends[u.Host] {
 			t.Fatalf("router report's backend table missing %s: %+v", u.Host, reps[0].Backends)
 		}
-		totalBackendReqs += rep.Rates.RequestsPerSec * rep.WindowActualS
+		// Rates divide by at least one tick (WindowClampedS), so the
+		// delta reconstructs from the effective divisor, not the raw
+		// sub-tick span between the two manual snapshots above.
+		eff := rep.WindowActualS
+		if rep.WindowClampedS > 0 {
+			eff = rep.WindowClampedS
+		}
+		totalBackendReqs += rep.Rates.RequestsPerSec * eff
 	}
 	// The fleet served the traffic (least-loaded placement spreads 60
 	// requests over 3 idle backends; all of it lands remotely).

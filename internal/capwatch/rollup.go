@@ -36,6 +36,16 @@ type Report struct {
 	WindowActualS float64 `json:"window_actual_s"` // covered by resident samples
 	WindowSamples int     `json:"window_samples"`
 
+	// WindowClampedS is set (to the effective divisor, seconds) when the
+	// requested window or the actual covered span was narrower than one
+	// sampling tick: rates are divided by at least one tick so that two
+	// near-simultaneous snapshots can't inflate deltas into Inf.
+	WindowClampedS float64 `json:"window_clamped_s,omitempty"`
+
+	// Incidents is the capscope bundle count since process start (0
+	// unless an incident recorder registered via SetIncidents).
+	Incidents uint64 `json:"incidents"`
+
 	// Instantaneous gauges (newest sample).
 	FreeContexts   int     `json:"free_contexts"`
 	QueueDepth     int     `json:"queue_depth"`
@@ -128,6 +138,13 @@ func (s *Sampler) Report(window time.Duration) Report {
 	if window <= 0 {
 		window = DefaultWindow
 	}
+	// A window narrower than one tick cannot span two distinct
+	// snapshots; widen it so the rollup judges at least one interval.
+	clamped := false
+	if window < s.interval {
+		window = s.interval
+		clamped = true
+	}
 	tier := "server"
 	if s.cfg.Router != nil {
 		tier = "router"
@@ -143,6 +160,9 @@ func (s *Sampler) Report(window time.Duration) Report {
 		WindowS:   window.Seconds(),
 		SLO:       s.evalSLO(),
 	}
+	if f := s.incidents.Load(); f != nil {
+		rep.Incidents = (*f)()
+	}
 	from, to, n, ok := s.window(window)
 	if !ok {
 		rep.Rates.Availability = 1
@@ -155,7 +175,17 @@ func (s *Sampler) Report(window time.Duration) Report {
 	rep.QueueOccupancy = to.QueueOccupancy
 	rep.Go = to.Go
 
+	// Rates divide by at least one tick: back-to-back SampleNow calls
+	// (tests, on-demand pokes) land snapshots microseconds apart, and a
+	// raw delta/elapsed would explode toward Inf.
 	sec := rep.WindowActualS
+	if minSec := s.interval.Seconds(); sec < minSec {
+		sec = minSec
+		clamped = true
+	}
+	if clamped {
+		rep.WindowClampedS = sec
+	}
 	rate := func(delta uint64) float64 {
 		if sec <= 0 {
 			return 0

@@ -1,0 +1,119 @@
+package profparse
+
+import (
+	"bytes"
+	"runtime/pprof"
+	"strings"
+	"testing"
+	"time"
+)
+
+// spin is the hot function the CPU-profile test expects to surface.
+//
+//go:noinline
+func spin(until time.Time) uint64 {
+	var x uint64 = 1
+	for time.Now().Before(until) {
+		for i := 0; i < 1_000; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+		}
+	}
+	return x
+}
+
+var sink uint64
+
+// TestParseCPUProfile round-trips a real runtime/pprof CPU profile:
+// the parser must find the sample-type schema, nonzero samples, and
+// this package's spin function among the top entries.
+func TestParseCPUProfile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		t.Skipf("cannot start CPU profile: %v", err)
+	}
+	sink = spin(time.Now().Add(300 * time.Millisecond))
+	pprof.StopCPUProfile()
+
+	p, err := Parse(buf.Bytes())
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(p.SampleTypes) == 0 {
+		t.Fatalf("no sample types")
+	}
+	// CPU profiles end with cpu/nanoseconds.
+	last := p.SampleTypes[len(p.SampleTypes)-1]
+	if !strings.Contains(last, "cpu") {
+		t.Errorf("last sample type = %q, want cpu/nanoseconds", last)
+	}
+	if len(p.Samples) == 0 {
+		t.Fatalf("no samples in a 300ms busy-loop profile")
+	}
+	if p.TotalValue(-1+len(p.SampleTypes)) <= 0 {
+		t.Errorf("total cpu value not positive")
+	}
+	top := p.Top(10, -1)
+	if len(top) == 0 {
+		t.Fatalf("empty top")
+	}
+	found := false
+	for _, e := range top {
+		if strings.Contains(e.Name, "profparse.spin") {
+			found = true
+			if e.Flat <= 0 && e.Cum <= 0 {
+				t.Errorf("spin has no weight: %+v", e)
+			}
+		}
+		if e.Cum < e.Flat {
+			t.Errorf("cum < flat for %q: %+v", e.Name, e)
+		}
+	}
+	if !found {
+		names := make([]string, 0, len(top))
+		for _, e := range top {
+			names = append(names, e.Name)
+		}
+		t.Errorf("spin not in top 10: %v", names)
+	}
+}
+
+// TestParseHeapProfile parses a real heap profile; it must decode with
+// a sample-type schema (inuse_space last) and resolvable names.
+func TestParseHeapProfile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := pprof.Lookup("heap").WriteTo(&buf, 0); err != nil {
+		t.Fatalf("heap profile: %v", err)
+	}
+	p, err := Parse(buf.Bytes())
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(p.SampleTypes) == 0 {
+		t.Fatalf("no sample types")
+	}
+	if last := p.SampleTypes[len(p.SampleTypes)-1]; !strings.Contains(last, "inuse_space") {
+		t.Errorf("last sample type = %q, want inuse_space/bytes", last)
+	}
+	for _, e := range p.Top(5, -1) {
+		if e.Name == "" {
+			t.Errorf("empty function name in top")
+		}
+	}
+}
+
+// TestParseGarbage rejects torn input instead of panicking.
+func TestParseGarbage(t *testing.T) {
+	for _, data := range [][]byte{
+		[]byte("not a profile"),
+		{0x1f, 0x8b, 0x00}, // truncated gzip
+		{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}, // varint overflow
+	} {
+		if _, err := Parse(data); err == nil {
+			t.Errorf("Parse(%v): wanted error", data[:min(4, len(data))])
+		}
+	}
+	// Empty input is an empty (valid) profile.
+	if _, err := Parse(nil); err != nil {
+		t.Errorf("Parse(nil): %v", err)
+	}
+}

@@ -97,27 +97,18 @@ func deltaCum(bounds, before, after []float64) (func(int) float64, float64, bool
 // latencies into compliance. Returns ok=false on an empty delta or
 // inconsistent snapshots.
 func DeltaFractionAbove(bounds, before, after []float64, threshold float64) (float64, bool) {
+	// deltaCum validates the whole cumulative chain *including* the
+	// +Inf bucket. Checking only the finite buckets here used to let a
+	// counter reset confined to the tail (process restart between the
+	// two halves of a scrape) produce a negative fraction.
+	delta, total, ok := deltaCum(bounds, before, after)
+	if !ok {
+		return 0, false
+	}
 	n := len(bounds) + 1
-	if len(bounds) == 0 || len(after) != n || (before != nil && len(before) != n) {
-		return 0, false
-	}
-	delta := func(i int) float64 {
-		d := after[i]
-		if before != nil {
-			d -= before[i]
-		}
-		return d
-	}
-	total := delta(n - 1)
-	if !(total > 0) {
-		return 0, false
-	}
 	prevCum, lo := 0.0, 0.0
 	for i := 0; i < n-1; i++ {
 		cum := delta(i)
-		if cum < prevCum {
-			return 0, false
-		}
 		hi := bounds[i]
 		if threshold >= hi {
 			prevCum, lo = cum, hi

@@ -1,0 +1,104 @@
+package promtext
+
+import "testing"
+
+// Counter-reset coverage: when the process behind a histogram restarts
+// mid-window, the "after" snapshot can be smaller than "before" — in
+// every bucket, in some buckets, or only in the +Inf total (scrape
+// halves straddling the restart). The delta estimators must reject the
+// pair (ok=false); they must never interpolate a negative delta into a
+// negative quantile or fraction.
+
+var resetBounds = []float64{0.001, 0.01, 0.1, 1}
+
+// resetCases are (before, after) snapshot pairs that all contain a
+// shrinking cumulative count somewhere.
+var resetCases = []struct {
+	name          string
+	before, after []float64
+}{
+	{
+		name:   "full reset",
+		before: []float64{5, 10, 20, 30, 30},
+		after:  []float64{1, 2, 3, 4, 4},
+	},
+	{
+		name:   "reset to zero",
+		before: []float64{5, 10, 20, 30, 32},
+		after:  []float64{0, 0, 0, 0, 0},
+	},
+	{
+		name:   "first bucket shrinks",
+		before: []float64{5, 10, 20, 30, 30},
+		after:  []float64{3, 12, 22, 32, 32},
+	},
+	{
+		name:   "interior bucket shrinks",
+		before: []float64{5, 10, 20, 30, 30},
+		after:  []float64{6, 8, 22, 32, 32},
+	},
+	{
+		// The regression case: every finite bucket grew, only the
+		// +Inf total shrank below the last finite count — the torn
+		// pair a restart between scrape halves produces. The old
+		// DeltaFractionAbove validated finite buckets only and
+		// returned a *negative* fraction here with ok=true.
+		name:   "tail-only reset",
+		before: []float64{0, 0, 0, 10, 10},
+		after:  []float64{5, 6, 7, 12, 9},
+	},
+	{
+		name:   "non-cumulative after",
+		before: nil,
+		after:  []float64{5, 3, 7, 8, 8},
+	},
+}
+
+func TestDeltaQuantileCounterReset(t *testing.T) {
+	for _, tc := range resetCases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, q := range []float64{0, 0.5, 0.99, 1} {
+				v, ok := DeltaQuantile(resetBounds, tc.before, tc.after, q)
+				if ok {
+					t.Errorf("q=%g accepted a reset pair: %g", q, v)
+				}
+				if v < 0 {
+					t.Errorf("q=%g went negative on reset: %g", q, v)
+				}
+			}
+		})
+	}
+}
+
+func TestDeltaFractionAboveCounterReset(t *testing.T) {
+	for _, tc := range resetCases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Thresholds below, inside, between, at and past the
+			// bucket table — every return path must reject the pair.
+			for _, thr := range []float64{0, 0.0005, 0.005, 0.05, 0.1, 0.5, 1, 5} {
+				frac, ok := DeltaFractionAbove(resetBounds, tc.before, tc.after, thr)
+				if ok {
+					t.Errorf("threshold=%g accepted a reset pair: %g", thr, frac)
+				}
+				if frac < 0 {
+					t.Errorf("threshold=%g went negative on reset: %g", thr, frac)
+				}
+			}
+		})
+	}
+}
+
+// TestDeltaAfterResetRecovers: the window after a restart (before
+// taken post-restart) is a normal pair again — rejecting resets must
+// not poison subsequent windows.
+func TestDeltaAfterResetRecovers(t *testing.T) {
+	before := []float64{1, 2, 3, 4, 4} // first post-restart scrape
+	after := []float64{5, 10, 20, 30, 30}
+	if p99, ok := DeltaQuantile(resetBounds, before, after, 0.99); !ok || p99 <= 0 {
+		t.Fatalf("post-restart window rejected: %g ok=%v", p99, ok)
+	}
+	frac, ok := DeltaFractionAbove(resetBounds, before, after, 0.05)
+	if !ok || frac < 0 || frac > 1 {
+		t.Fatalf("post-restart fraction: %g ok=%v", frac, ok)
+	}
+}
