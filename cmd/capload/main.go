@@ -35,6 +35,7 @@
 //	capload -d 5s -c 8 -min-throughput 200   # CI smoke: exit 2 below 200 req/s
 //	capload -url http://localhost:8090 -d 5s -max-fallback-rate 0.5 -min-backends-hit 3
 //	capload -url http://localhost:8090 -d 10s -max-error-rate 0   # chaos: zero failed requests
+//	capload -targets http://localhost:8090,http://localhost:8091 -d 10s -max-error-rate 0  # replicated routers with failover
 //
 // With -trace N, every Nth request carries a fresh X-Capsule-Trace-ID,
 // and after the run capload pulls the target's /debug/trace snapshot and
@@ -57,6 +58,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/captrace"
@@ -67,6 +69,7 @@ import (
 
 type options struct {
 	url         string
+	targets     []string
 	wls         []string
 	n           int
 	seed        int64
@@ -105,6 +108,7 @@ func main() {
 	var o options
 	var wlList, mix string
 	flag.StringVar(&o.url, "url", "http://localhost:8080", "capserve or caprouter base URL")
+	targetsFlag := flag.String("targets", "", "comma-separated replicated caprouter base URLs with health-aware failover (overrides -url)")
 	flag.StringVar(&wlList, "workloads", "quicksort,dijkstra,lzw,perceptron", "comma-separated workloads, round-robin")
 	flag.StringVar(&mix, "mix", "", "weighted workload mix, e.g. quicksort=4,dijkstra=2,lzw=1 (overrides -workloads)")
 	flag.IntVar(&o.n, "n", 2000, "input size per request")
@@ -162,6 +166,25 @@ func main() {
 		fail("invalid flags: n, c, d and seeds must be positive, rate non-negative")
 	}
 
+	// -targets generalizes -url to a replicated router fleet: requests go
+	// to the preferred replica, and a replica that fails at the transport
+	// (refused, reset, timed out) costs the request one bounded attempt
+	// before the next one — the client-side edge of the zero-failed-
+	// request failover contract. With one target this degenerates to the
+	// old single-URL path exactly.
+	if *targetsFlag != "" {
+		for _, t := range strings.Split(*targetsFlag, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				o.targets = append(o.targets, t)
+			}
+		}
+	}
+	if len(o.targets) == 0 {
+		o.targets = []string{o.url}
+	}
+	o.url = o.targets[0]
+	replicas := newReplicaSet(o.targets)
+
 	// net/http's default transport keeps only 2 idle connections per host:
 	// a closed loop at -c 8 re-dials on most requests and measures
 	// connection churn, not the server. Size the idle pool to the run's
@@ -176,7 +199,7 @@ func main() {
 		idle = 64
 	}
 	client := httptune.Client(idle, o.timeout)
-	before, berr := scrapeMetrics(client, o.url)
+	before, scrapedURL, berr := scrapeAny(client, o.targets)
 
 	// tracedReq is one request capload chose to trace: its stamped ID
 	// and client-observed outcome, the pool the p99 exemplar is drawn
@@ -202,21 +225,41 @@ func main() {
 	fire := func(i int64) {
 		wl := o.wls[int(i)%len(o.wls)]
 		seed := o.seed + i%o.seeds
-		url := fmt.Sprintf("%s/run/%s?n=%d&seed=%d", o.url, wl, o.n, seed)
 		var tid uint64
-		req, rerr := http.NewRequest(http.MethodGet, url, nil)
-		if rerr != nil {
-			record(result{0, 0})
-			return
-		}
 		if o.traceEvery > 0 && i%int64(o.traceEvery) == 0 {
 			tid = captrace.NewID()
-			req.Header.Set(captrace.HeaderTraceID, captrace.FormatID(tid))
 		}
+		// Walk the replica set, preferred first: a replica that fails at
+		// the transport costs one attempt and the next one absorbs the
+		// request. The recorded latency spans the whole walk — failover
+		// is supposed to be invisible in the error column, not in p99.
+		var resp *http.Response
 		start := time.Now()
-		resp, err := client.Do(req)
+		for attempt, ti := range replicas.order() {
+			url := fmt.Sprintf("%s/run/%s?n=%d&seed=%d", replicas.urls[ti], wl, o.n, seed)
+			req, rerr := http.NewRequest(http.MethodGet, url, nil)
+			if rerr != nil {
+				record(result{0, 0})
+				return
+			}
+			if tid != 0 {
+				req.Header.Set(captrace.HeaderTraceID, captrace.FormatID(tid))
+			}
+			var err error
+			resp, err = client.Do(req)
+			if err == nil {
+				replicas.markUp(ti)
+				if attempt > 0 {
+					replicas.failovers.Add(1)
+				}
+				break
+			}
+			replicas.markDown(ti)
+			resp = nil
+		}
 		lat := time.Since(start)
-		if err != nil {
+		if resp == nil {
+			// Every replica failed: only now is the request a failure.
 			record(result{0, lat})
 			return
 		}
@@ -261,7 +304,15 @@ func main() {
 		window = o.d
 	}
 
-	after, aerr := scrapeMetrics(client, o.url)
+	// The after scrape must hit the same replica as the before scrape for
+	// the counter deltas to mean anything; if that replica died mid-run
+	// (the router-chaos scenario), fall through to a survivor — delta()
+	// discards pairs whose counters went backwards.
+	afterTargets := o.targets
+	if scrapedURL != "" {
+		afterTargets = append([]string{scrapedURL}, o.targets...)
+	}
+	after, _, aerr := scrapeAny(client, afterTargets)
 
 	// Aggregate.
 	var ok2xx, errs int
@@ -308,6 +359,10 @@ func main() {
 		"latency_p99_ms":      ms(pct(lats, 0.99)),
 		"latency_max_ms":      ms(pct(lats, 1)),
 		"checksum_mismatches": mismatch,
+	}
+	if len(o.targets) > 1 {
+		report["targets"] = o.targets
+		report["failovers"] = replicas.failovers.Load()
 	}
 	// Counters going backwards mean the server restarted (or a balancer
 	// swapped instances) between scrapes: the pair is unusable, omit the
@@ -507,6 +562,9 @@ func main() {
 		fmt.Printf("capload: %s loop, %s against %s (workloads %s, n=%d)\n",
 			mode, elapsed.Round(time.Millisecond), o.url, strings.Join(o.wls, ","), o.n)
 		fmt.Printf("requests: total=%d 2xx=%d errors=%d by-code=%v\n", len(results), ok2xx, errs, codeKeys(byCode))
+		if len(o.targets) > 1 {
+			fmt.Printf("targets: %d replicas, failovers=%d\n", len(o.targets), replicas.failovers.Load())
+		}
 		fmt.Printf("throughput: %.1f req/s (2xx)\n", tput)
 		fmt.Printf("latency: p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms\n",
 			ms(pct(lats, 0.50)), ms(pct(lats, 0.95)), ms(pct(lats, 0.99)), ms(pct(lats, 1)))
@@ -755,6 +813,81 @@ func openLoop(o options, deadline time.Time, fire func(int64)) {
 		i++
 	}
 	wg.Wait()
+}
+
+// replicaSet is capload's health-aware view of a replicated router
+// fleet. Requests start at the preferred replica (the last one that
+// answered); a transport-level failure marks the replica down for a
+// cooldown and the walk moves on, so a kill -9'd router costs each
+// in-flight request at most one bounded extra attempt, and nearly
+// nothing once the preference has moved. Replicas in cooldown are
+// demoted to the end of the walk, not excluded: being wrong about
+// "down" costs one attempt, skipping a live replica could fail the
+// request.
+type replicaSet struct {
+	urls      []string
+	preferred atomic.Int64
+	downUntil []atomic.Int64 // unix nanos; demoted (not excluded) until then
+	failovers atomic.Uint64  // requests that succeeded on a non-first attempt
+}
+
+// replicaCooldown is how long a transport failure demotes a replica.
+// Deliberately short: a router that TERMs gracefully flips /healthz
+// long before it stops answering, and one that dies abruptly keeps
+// refusing instantly — re-probing is cheap either way.
+const replicaCooldown = time.Second
+
+func newReplicaSet(urls []string) *replicaSet {
+	return &replicaSet{urls: urls, downUntil: make([]atomic.Int64, len(urls))}
+}
+
+// order returns the target indexes to try for one request: the
+// preferred replica first, the rest round-robin after it, cooling
+// replicas demoted to the tail.
+func (rs *replicaSet) order() []int {
+	n := len(rs.urls)
+	if n == 1 {
+		return []int{0}
+	}
+	p := int(rs.preferred.Load()) % n
+	now := time.Now().UnixNano()
+	live := make([]int, 0, n)
+	var cooling []int
+	for i := 0; i < n; i++ {
+		t := (p + i) % n
+		if rs.downUntil[t].Load() > now {
+			cooling = append(cooling, t)
+		} else {
+			live = append(live, t)
+		}
+	}
+	return append(live, cooling...)
+}
+
+func (rs *replicaSet) markUp(t int) {
+	rs.downUntil[t].Store(0)
+	rs.preferred.Store(int64(t))
+}
+
+func (rs *replicaSet) markDown(t int) {
+	rs.downUntil[t].Store(time.Now().UnixNano() + replicaCooldown.Nanoseconds())
+}
+
+// scrapeAny pulls /metrics from the first reachable target, reporting
+// which one answered — with a replica fleet each replica sees its own
+// request stream, so before/after counter deltas are only meaningful
+// against the same replica (the caller re-prefers the before-scrape's
+// URL for the after scrape).
+func scrapeAny(client *http.Client, targets []string) (map[string]float64, string, error) {
+	var lastErr error
+	for _, t := range targets {
+		m, err := scrapeMetrics(client, t)
+		if err == nil {
+			return m, t, nil
+		}
+		lastErr = err
+	}
+	return nil, "", lastErr
 }
 
 // scrapeMetrics pulls the target's full /metrics exposition into a

@@ -73,6 +73,9 @@ func main() {
 	slowMinP99 := flag.Duration("slow-min-p99", 0, "absolute p99 floor below which no backend is ejected (0 = default)")
 	slowMinSamples := flag.Int("slow-min-samples", 0, "dispatches per interval a backend needs before slow ejection considers it (0 = default)")
 	refresh := flag.Duration("refresh", time.Second, "credit refresh interval (scrapes backend /metrics; 0 disables)")
+	feedOn := flag.Bool("feed", true, "subscribe to backend /debug/credits push feeds (headers and scrapes remain as fallbacks)")
+	staleTTL := flag.Duration("stale-ttl", 0, "credit-gauge trust window: fresh feeds skip the scrape, fully quiet backends decay toward -credits (0 = default)")
+	feedBackoff := flag.Duration("feed-backoff", 0, "base backoff between feed reconnect attempts, jittered and doubled per failure (0 = default)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
 	trace := flag.Bool("trace", false, "record route spans (and spawned backends' lifecycles), served on /debug/trace")
 	traceBuf := flag.Int("trace-buf", 0, "trace ring slots per shard (0 = default)")
@@ -235,9 +238,13 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
-	var dispatchRT http.RoundTripper
+	// The feed subscriptions get their own transport wrap so a ScopeFeed
+	// rule can cut the push plane while dispatches stay healthy — the
+	// fallback paths are only testable when the failure is selective.
+	var dispatchRT, feedRT http.RoundTripper
 	if inj != nil {
 		dispatchRT = inj.Transport(capcluster.DefaultTransport(*maxCredits))
+		feedRT = inj.FeedTransport(capcluster.DefaultTransport(*maxCredits))
 	}
 	router, err := capcluster.New(capcluster.Config{
 		Backends:       urls,
@@ -254,7 +261,10 @@ func main() {
 		SlowFactor:     *slowFactor,
 		SlowMinP99:     *slowMinP99,
 		SlowMinSamples: *slowMinSamples,
+		StaleTTL:       *staleTTL,
+		FeedBackoff:    *feedBackoff,
 		Transport:      dispatchRT,
+		FeedTransport:  feedRT,
 		Tracer:         tracer,
 		TraceSample:    *traceSample,
 		TraceLocals:    traceLocals,
@@ -347,6 +357,13 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *feedOn && len(urls) > 0 {
+		// The push plane: one subscription per backend, reconnecting with
+		// jittered backoff for the process lifetime. The Refresh ticker
+		// below then only pays for backends the push plane has lost.
+		router.StartFeeds(ctx)
+		fmt.Printf("caprouter: subscribed to %d backend credit feeds\n", len(urls))
+	}
 	if *refresh > 0 {
 		go func() {
 			t := time.NewTicker(*refresh)

@@ -137,6 +137,13 @@ type report struct {
 	// least one complete bundle. Gated in CI on bundles >= 1 with the
 	// core artifacts present.
 	Incident *incidentResult `json:"incident,omitempty"`
+
+	// RouterChaos is the replicated-router storm block: a hard replica
+	// kill with client failover (gated in CI on zero failed requests and
+	// placement agreement) and a credit-feed blackhole proving the
+	// scrape fallback (gated on pre-cut refresh skips > 0 and zero
+	// failed requests).
+	RouterChaos *routerChaosResult `json:"router_chaos,omitempty"`
 }
 
 // traceOverheadResult is one hot path's off/armed/traced comparison.
@@ -240,6 +247,7 @@ func main() {
 	chaos := flag.Bool("chaos", true, "also run the capfault chaos storms (churn, slow backend, partition)")
 	chaosDur := flag.Duration("chaos-duration", 2*time.Second, "duration of each chaos storm")
 	chaosN := flag.Int("chaos-n", 400, "chaos storm request input size")
+	routerChaos := flag.Bool("router-chaos", true, "also run the replicated-router storms (replica kill with failover, credit-feed blackhole)")
 	incident := flag.Bool("incident", true, "also run the staged-burn capscope scenario (overload until the SLO budget exhausts, assert a bundle lands)")
 	incidentDur := flag.Duration("incident-duration", 2*time.Second, "staged-burn scenario duration")
 	incidentN := flag.Int("incident-n", 30000, "staged-burn scenario request input size (big enough that the closed loop overruns the latency target)")
@@ -409,6 +417,20 @@ func main() {
 			ch.Slow.Ejections, ch.Slow.Readmitted, ch.Slow.Requests, ch.Slow.Errors)
 		fmt.Printf("chaos partition: %d deaths, %d breaker denies, max latency %.0fms: %d requests, %d errors\n",
 			ch.Partition.Deaths, ch.Partition.BreakerDenies, ch.Partition.MaxLatencyMS, ch.Partition.Requests, ch.Partition.Errors)
+	}
+
+	if *routerChaos {
+		rc, err := runRouterChaos(*chaosDur, *chaosN)
+		if err != nil {
+			fail("router chaos measurement: %v", err)
+		}
+		r.RouterChaos = rc
+		fmt.Printf("router chaos replica_kill: %d replicas over %d backends, one killed at halftime: %d requests, %d errors, %d failovers, placement %d/%d agreed\n",
+			rc.ReplicaKill.Replicas, rc.ReplicaKill.Backends, rc.ReplicaKill.Requests, rc.ReplicaKill.Errors,
+			rc.ReplicaKill.Failovers, rc.ReplicaKill.PlacementAgreed, rc.ReplicaKill.PlacementChecked)
+		fmt.Printf("router chaos feed_partition: %d refresh skips pre-cut (%d total), %d feed deltas, %d stale decays: %d requests, %d errors\n",
+			rc.FeedPartition.RefreshSkippedPre, rc.FeedPartition.RefreshSkipped, rc.FeedPartition.FeedDeltas,
+			rc.FeedPartition.StaleDecays, rc.FeedPartition.Requests, rc.FeedPartition.Errors)
 	}
 
 	if *incident {

@@ -1,0 +1,371 @@
+package main
+
+// The router-chaos scenarios: the failures a *replicated* router fleet
+// must absorb. replica_kill hard-kills one of two caprouter replicas
+// (listener and every live connection torn down, the in-process
+// equivalent of kill -9) mid-storm while clients walk a -targets list —
+// the gate is zero failed client requests plus placement agreement
+// (same key lands on the same backend through either replica, the
+// rendezvous property that makes replicas interchangeable without
+// coordination). feed_partition blackholes the credit push plane
+// through capfault's feed scope and proves the scrape fallback keeps
+// dispatch fed: the push feed must have been carrying (refresh skips
+// grew) before the cut, and no client request fails after it.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/capcluster"
+	"repro/internal/capfault"
+	"repro/internal/capserve"
+	"repro/internal/capsule"
+	"repro/internal/httptune"
+)
+
+// routerChaosScenario is one router-plane storm's tracked numbers.
+// Requests/Errors are the client's view — Errors must be zero; the rest
+// prove the storm stormed (a replica actually died, the feed actually
+// carried and was actually cut).
+type routerChaosScenario struct {
+	Replicas  int     `json:"replicas,omitempty"`
+	Backends  int     `json:"backends"`
+	Clients   int     `json:"clients"`
+	Requests  int     `json:"requests"`
+	Errors    int     `json:"errors"`
+	RPS       float64 `json:"rps"`
+	DurationS float64 `json:"duration_s"`
+
+	Failovers        int `json:"failovers,omitempty"`         // kill: successes on a non-preferred replica
+	PlacementChecked int `json:"placement_checked,omitempty"` // kill: keys routed remotely via both replicas
+	PlacementAgreed  int `json:"placement_agreed,omitempty"`  // kill: of those, same backend both ways
+
+	RefreshSkippedPre uint64 `json:"refresh_skipped_pre,omitempty"` // feed: scrape skips before the cut (push plane carrying)
+	RefreshSkipped    uint64 `json:"refresh_skipped,omitempty"`     // feed: total at end
+	FeedDeltas        uint64 `json:"feed_deltas,omitempty"`         // feed: deltas applied across backends
+	StaleDecays       uint64 `json:"stale_decays"`                  // feed: must stay 0 — scrape fallback kept gauges fresh
+}
+
+// routerChaosResult groups the two storms in BENCH_capsule.json.
+type routerChaosResult struct {
+	ReplicaKill   *routerChaosScenario `json:"replica_kill,omitempty"`
+	FeedPartition *routerChaosScenario `json:"feed_partition,omitempty"`
+}
+
+// startReplica builds one full caprouter replica — its own local tier,
+// its own gauges and breakers, rendezvous placement so it agrees with
+// its siblings — and serves it on a plain net/http server (not
+// httptest) so killing it can be abrupt: http.Server.Close tears down
+// the listener and every live connection without draining, which is as
+// close to kill -9 as one process gets.
+func startReplica(urls []string, clients int, cfg capcluster.Config) (*capcluster.Router, *http.Server, string, func(), error) {
+	localRT := capsule.NewDefault()
+	local, err := capserve.New(capserve.Config{Runtime: localRT, QueueDepth: 4 * clients})
+	if err != nil {
+		localRT.Close()
+		return nil, nil, "", nil, err
+	}
+	place, err := capcluster.NewPlacement("rendezvous")
+	if err != nil {
+		localRT.Close()
+		return nil, nil, "", nil, err
+	}
+	cfg.Backends = urls
+	cfg.Local = local
+	cfg.Placement = place
+	router, err := capcluster.New(cfg)
+	if err != nil {
+		localRT.Close()
+		return nil, nil, "", nil, err
+	}
+	router.Refresh()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		localRT.Close()
+		return nil, nil, "", nil, err
+	}
+	srv := &http.Server{Handler: router}
+	go srv.Serve(ln)
+	cleanup := func() {
+		srv.Close()
+		localRT.Close()
+	}
+	return router, srv, "http://" + ln.Addr().String(), cleanup, nil
+}
+
+// failoverClients drives a -targets walk closed-loop: each request
+// starts at the shared preferred replica and falls through the rest on
+// transport error; only the whole walk failing (or a bad status) counts
+// as a client-visible error. Mirrors capload's replicaSet, inlined so
+// the storm measures the walk itself.
+func failoverClients(targets []string, clients, n int, d time.Duration) (requests, errors, failovers int, elapsed time.Duration) {
+	wls := []string{"quicksort", "quicksort", "lzw", "dijkstra"}
+	client := httptune.Client(clients, 10*time.Second)
+	var req, errs, fails atomic.Int64
+	var preferred atomic.Int64
+	deadline := time.Now().Add(d)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; time.Now().Before(deadline); i++ {
+				wl := wls[(c+i)%len(wls)]
+				path := fmt.Sprintf("/run/%s?n=%d&seed=%d", wl, n, c*1000+i%64)
+				var resp *http.Response
+				p := int(preferred.Load())
+				for a := 0; a < len(targets); a++ {
+					ti := (p + a) % len(targets)
+					r, err := client.Get(targets[ti] + path)
+					if err != nil {
+						continue
+					}
+					resp = r
+					if a > 0 {
+						preferred.Store(int64(ti))
+						fails.Add(1)
+					}
+					break
+				}
+				if resp == nil {
+					errs.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					req.Add(1)
+				} else {
+					errs.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	return int(req.Load()), int(errs.Load()), int(fails.Load()), time.Since(start)
+}
+
+// replicaKillLoop is the router-SPOF storm: two full caprouter replicas
+// front the same three backends, both subscribed to the credit feeds,
+// clients walk both via failover — and at halftime one replica is
+// killed without drain. First, placement agreement is checked cold:
+// the same key routed through either replica must name the same
+// backend, the property that makes "retry on the other replica" safe
+// for cache locality and makes the fleet coordination-free.
+func replicaKillLoop(d time.Duration, n int) (*routerChaosScenario, error) {
+	const nBackends = 3
+	const nReplicas = 2
+	clients := chaosClientCount()
+
+	var backends []*capserve.Backend
+	var urls []string
+	for i := 0; i < nBackends; i++ {
+		b, err := capserve.StartBackend(capserve.Config{
+			Runtime:    capsule.New(capsule.Config{Contexts: 2, Throttle: true}),
+			QueueDepth: 4,
+		})
+		if err != nil {
+			return nil, err
+		}
+		backends = append(backends, b)
+		urls = append(urls, b.URL)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		for _, b := range backends {
+			b.Close(ctx)
+			b.Runtime().Close()
+		}
+	}()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var servers []*http.Server
+	var targets []string
+	for r := 0; r < nReplicas; r++ {
+		router, srv, url, cleanup, err := startReplica(urls, clients, capcluster.Config{
+			FailThreshold: 2,
+			FailWindow:    400 * time.Millisecond,
+			Timeout:       5 * time.Second,
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer cleanup()
+		router.StartFeeds(ctx)
+		servers = append(servers, srv)
+		targets = append(targets, url)
+	}
+
+	// Placement agreement, checked before the storm while the fleet is
+	// idle (remote probes grant freely): a key that dispatches remotely
+	// through both replicas must land on the same backend. Keys that
+	// fall back to the local tier on either side are skipped, not
+	// failed — agreement is a property of remote placement.
+	checked, agreed := 0, 0
+	probe := httptune.Client(2, 5*time.Second)
+	for s := 0; s < 8; s++ {
+		var names []string
+		remote := true
+		for _, t := range targets {
+			resp, err := probe.Get(fmt.Sprintf("%s/run/quicksort?n=64&seed=%d", t, 9000+s))
+			if err != nil {
+				return nil, fmt.Errorf("placement probe: %w", err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.Header.Get(capcluster.HeaderRoute) != "remote" {
+				remote = false
+				break
+			}
+			names = append(names, resp.Header.Get(capcluster.HeaderBackend))
+		}
+		if !remote {
+			continue
+		}
+		checked++
+		if names[0] == names[1] {
+			agreed++
+		}
+	}
+
+	// Halftime: replica 0 dies hard. Its live connections reset, its
+	// feed subscriptions die with it, and every client that preferred
+	// it must fail over within the same request.
+	kill := time.AfterFunc(d/2, func() { servers[0].Close() })
+	defer kill.Stop()
+
+	req, errs, failovers, elapsed := failoverClients(targets, clients, n, d)
+	return &routerChaosScenario{
+		Replicas: nReplicas, Backends: nBackends, Clients: clients,
+		Requests: req, Errors: errs,
+		RPS: float64(req) / elapsed.Seconds(), DurationS: elapsed.Seconds(),
+		Failovers:        failovers,
+		PlacementChecked: checked,
+		PlacementAgreed:  agreed,
+	}, nil
+}
+
+// feedPartitionLoop is the push-plane storm: one router subscribed to
+// three backends' credit feeds (fast heartbeats, short stale TTL, a
+// scrape ticker standing by), then capfault blackholes every feed
+// mid-run. Before the cut the push plane must demonstrably carry — the
+// scrape ticker skips fresh backends, so refresh_skipped grows. After
+// the cut the feeds go silent, the per-event watchdogs cancel the
+// streams, feedFresh expires, and the ticker's scrapes take over —
+// gauges stay fresh (zero stale decays) and no client request fails.
+func feedPartitionLoop(d time.Duration, n int) (*routerChaosScenario, error) {
+	const nBackends = 3
+	clients := chaosClientCount()
+	inj := capfault.New(0xFEEDC)
+
+	var backends []*capserve.Backend
+	var urls []string
+	for i := 0; i < nBackends; i++ {
+		b, err := capserve.StartBackend(capserve.Config{
+			Runtime:       capsule.New(capsule.Config{Contexts: 2, Throttle: true}),
+			QueueDepth:    4,
+			FeedHeartbeat: 50 * time.Millisecond,
+		})
+		if err != nil {
+			return nil, err
+		}
+		backends = append(backends, b)
+		urls = append(urls, b.URL)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		for _, b := range backends {
+			b.Close(ctx)
+			b.Runtime().Close()
+		}
+	}()
+
+	router, _, target, cleanup, err := startReplica(urls, clients, capcluster.Config{
+		FailThreshold: 2,
+		FailWindow:    400 * time.Millisecond,
+		Timeout:       5 * time.Second,
+		StaleTTL:      300 * time.Millisecond,
+		FeedBackoff:   50 * time.Millisecond,
+		FeedTransport: inj.FeedTransport(httptune.Transport(8)),
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	router.StartFeeds(ctx)
+
+	// The scrape ticker a live caprouter runs: while feeds are fresh
+	// every tick is all skips; after the blackhole it is the only
+	// source of credits.
+	stop := make(chan struct{})
+	var tickWG sync.WaitGroup
+	tickWG.Add(1)
+	go func() {
+		defer tickWG.Done()
+		tick := time.NewTicker(100 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				router.Refresh()
+			}
+		}
+	}()
+
+	// Third-time: snapshot the pre-cut skip count (the push plane must
+	// have carried by then), then blackhole every feed edge. Dispatch
+	// traffic never matches ScopeFeed rules.
+	var preCut atomic.Uint64
+	cut := time.AfterFunc(d/3, func() {
+		preCut.Store(router.RefreshSkipped())
+		inj.Set(capfault.Rule{Kind: capfault.KindBlackhole, Scope: capfault.ScopeFeed})
+	})
+	defer cut.Stop()
+
+	req, errs, _, elapsed := failoverClients([]string{target}, clients, n, d)
+	close(stop)
+	tickWG.Wait()
+
+	var deltas, decays uint64
+	for _, b := range router.Backends() {
+		st := b.Stats()
+		deltas += st.FeedDeltas
+		decays += st.StaleDecays
+	}
+	return &routerChaosScenario{
+		Backends: nBackends, Clients: clients,
+		Requests: req, Errors: errs,
+		RPS: float64(req) / elapsed.Seconds(), DurationS: elapsed.Seconds(),
+		RefreshSkippedPre: preCut.Load(),
+		RefreshSkipped:    router.RefreshSkipped(),
+		FeedDeltas:        deltas,
+		StaleDecays:       decays,
+	}, nil
+}
+
+// runRouterChaos runs the two router-plane storms back to back.
+func runRouterChaos(d time.Duration, n int) (*routerChaosResult, error) {
+	kill, err := replicaKillLoop(d, n)
+	if err != nil {
+		return nil, fmt.Errorf("replica_kill: %w", err)
+	}
+	feed, err := feedPartitionLoop(d, n)
+	if err != nil {
+		return nil, fmt.Errorf("feed_partition: %w", err)
+	}
+	return &routerChaosResult{ReplicaKill: kill, FeedPartition: feed}, nil
+}

@@ -93,6 +93,17 @@ const (
 	// DefaultTrialBackoff is the base delay of the jittered exponential
 	// backoff between failed half-open trials.
 	DefaultTrialBackoff = 100 * time.Millisecond
+	// DefaultStaleTTL is how long a backend's credit gauge stays trusted
+	// after its last live signal (push delta, response header, or scrape).
+	// Within the TTL a push-fed backend skips the Refresh scrape; past it
+	// with *every* source quiet, the gauge decays toward Config.Credits
+	// instead of serving stale capacity forever. Several push heartbeats
+	// (DefaultFeedHeartbeat) fit inside, so one dropped event never marks
+	// a healthy feed stale.
+	DefaultStaleTTL = 3 * time.Second
+	// DefaultFeedBackoff is the base delay of the jittered exponential
+	// backoff between credit-feed reconnect attempts (StartFeeds).
+	DefaultFeedBackoff = 100 * time.Millisecond
 	// DefaultSlowFactor: a backend is ejected when its dispatch p99
 	// exceeds the fleet median p99 by this factor (and the floors below).
 	DefaultSlowFactor = 4.0
@@ -152,6 +163,26 @@ type Config struct {
 	// so a black-holed backend cannot hold the recovery feed hostage for
 	// a full dispatch Timeout. Default: DefaultRefreshTimeout.
 	RefreshTimeout time.Duration
+
+	// StaleTTL bounds credit-gauge trust: a backend whose push feed is
+	// fresh within the TTL skips the Refresh scrape, and a backend whose
+	// every live source (feed, headers, scrape) has been quiet past it
+	// decays toward Credits on each Refresh tick. Default:
+	// DefaultStaleTTL.
+	StaleTTL time.Duration
+
+	// FeedBackoff is the base of the jittered exponential backoff between
+	// credit-feed reconnect attempts — same shape as TrialBackoff, same
+	// deterministic per-backend jitter, so a fleet of routers losing the
+	// same backend doesn't resubscribe in lockstep. Default:
+	// DefaultFeedBackoff.
+	FeedBackoff time.Duration
+
+	// FeedTransport overrides the transport of the credit-feed
+	// subscriptions only — the hook capfault's feed scope plugs into, so
+	// the push stream can be blackholed without touching dispatches.
+	// Default (nil): the dispatch transport.
+	FeedTransport http.RoundTripper
 
 	// TrialBackoff is the base of the jittered exponential backoff
 	// applied between *failed* half-open trials: after the k-th
@@ -251,6 +282,9 @@ func (cfg Config) Validate() error {
 	if cfg.AttemptTimeout < 0 || cfg.RefreshTimeout < 0 || cfg.TrialBackoff < 0 {
 		return fmt.Errorf("capcluster: AttemptTimeout, RefreshTimeout and TrialBackoff must be >= 0 (0 means default)")
 	}
+	if cfg.StaleTTL < 0 || cfg.FeedBackoff < 0 {
+		return fmt.Errorf("capcluster: StaleTTL and FeedBackoff must be >= 0 (0 means default)")
+	}
 	if cfg.SlowFactor < 0 || cfg.SlowMinP99 < 0 || cfg.SlowMinSamples < 0 {
 		return fmt.Errorf("capcluster: SlowFactor, SlowMinP99 and SlowMinSamples must be >= 0 (0 means default)")
 	}
@@ -271,6 +305,7 @@ type Router struct {
 	place    Placement
 	client   *http.Client
 	scrape   *http.Client // Refresh's own client: short timeout, never waits a dispatch Timeout on a sick backend
+	feed     *http.Client // credit-feed subscriptions: no client timeout (streams live forever), watchdogged per event
 	mux      *http.ServeMux
 	start    time.Time
 	draining atomic.Bool
@@ -285,6 +320,7 @@ type Router struct {
 	localFallbacks atomic.Uint64
 	clientGone     atomic.Uint64
 	refreshErrs    atomic.Uint64
+	refreshSkipped atomic.Uint64 // scrapes skipped because the push feed was fresh
 
 	// Serving-tier outcome counters: which rung of the degradation
 	// ladder finally produced each 2xx response (the
@@ -342,9 +378,19 @@ func New(cfg Config) (*Router, error) {
 	if cfg.MaxBody == 0 {
 		cfg.MaxBody = DefaultMaxBody
 	}
+	if cfg.StaleTTL == 0 {
+		cfg.StaleTTL = DefaultStaleTTL
+	}
+	if cfg.FeedBackoff == 0 {
+		cfg.FeedBackoff = DefaultFeedBackoff
+	}
 	transport := cfg.Transport
 	if transport == nil {
 		transport = defaultTransport(cfg.MaxCredits)
+	}
+	feedTransport := cfg.FeedTransport
+	if feedTransport == nil {
+		feedTransport = transport
 	}
 	sample := cfg.TraceSample
 	if sample == 0 {
@@ -360,6 +406,7 @@ func New(cfg Config) (*Router, error) {
 		place:       cfg.Placement,
 		client:      &http.Client{Transport: transport, Timeout: cfg.Timeout},
 		scrape:      &http.Client{Transport: transport, Timeout: cfg.RefreshTimeout},
+		feed:        &http.Client{Transport: feedTransport},
 		mux:         http.NewServeMux(),
 		start:       time.Now(),
 		tracer:      cfg.Tracer,
@@ -540,14 +587,30 @@ func (r *Router) handleRun(w http.ResponseWriter, req *http.Request) {
 // RefreshTimeout, not a 10 s dispatch budget — the recovery feed must
 // not be starved by exactly the sick backend it exists to work around.
 // cmd/caprouter runs it on a ticker; tests call it directly.
+//
+// With the push plane live (StartFeeds), Refresh only pays for backends
+// the push plane has lost: a backend whose feed is fresh within
+// Config.StaleTTL skips its scrape (counted in refreshSkipped, the
+// caprouter_refresh_skipped_total series — steady-state proof the feed
+// is carrying the fleet). A backend whose every live source is quiet
+// past the TTL *and* whose scrape just failed decays toward
+// Config.Credits instead of serving a stale gauge forever.
 func (r *Router) Refresh() {
+	ttl := r.cfg.StaleTTL.Nanoseconds()
 	var wg sync.WaitGroup
 	for _, b := range r.backends {
+		if b.feedFresh(ttl) {
+			r.refreshSkipped.Add(1)
+			continue
+		}
 		wg.Add(1)
 		go func(b *Backend) {
 			defer wg.Done()
 			if err := r.refreshBackend(b); err != nil {
 				r.refreshErrs.Add(1)
+				if b.stale(ttl) {
+					b.decayStale(r.cfg.Credits)
+				}
 			}
 		}(b)
 	}
@@ -571,5 +634,6 @@ func (r *Router) refreshBackend(b *Backend) error {
 		return fmt.Errorf("capcluster: %s/metrics missing queue gauges", b.name)
 	}
 	b.learn(int(depth - occ))
+	b.markFresh()
 	return nil
 }

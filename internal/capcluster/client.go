@@ -147,6 +147,7 @@ func (r *Router) dispatch(w http.ResponseWriter, req *http.Request, b *Backend, 
 	if hdr := resp.Header.Get(capserve.HeaderQueueFree); hdr != "" {
 		if free, ok := parseHeadroom(hdr); ok {
 			b.learn(free)
+			b.markFresh()
 		} else {
 			b.badHeaders.Add(1)
 		}

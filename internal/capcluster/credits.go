@@ -1,6 +1,7 @@
 package capcluster
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -58,6 +59,22 @@ type Backend struct {
 	nextTrialNS    atomic.Int64
 	trialBackoffNS int64
 
+	// Push-plane state (feed.go). feedMu serializes delta application so
+	// the seq check and the gauge write cannot interleave across two
+	// deltas — an old delta must never overwrite a newer one, even when
+	// a reconnect leaves two subscriber goroutines briefly racing.
+	// Deltas arrive at heartbeat rate, so a mutex here costs nothing;
+	// the probe path never touches it.
+	feedMu        sync.Mutex
+	feedSeq       atomic.Uint64 // highest applied delta sequence number
+	feedNS        atomic.Int64  // last instant a feed delta was applied (0 = never)
+	freshNS       atomic.Int64  // last instant ANY live source updated the gauge
+	feedConnected atomic.Bool   // a subscription stream is currently open
+	feedDeltas    atomic.Uint64 // deltas applied to the gauge
+	feedDrops     atomic.Uint64 // deltas discarded by the seq regression guard
+	feedConnects  atomic.Uint64 // subscription streams opened (reconnects after the first)
+	staleDecays   atomic.Uint64 // TTL decays toward the default credit ceiling
+
 	dispatches    atomic.Uint64 // granted probes that went to the wire
 	served        atomic.Uint64 // responses proxied back to a client
 	sheds         atomic.Uint64 // backend 503s (stale credits, not deaths)
@@ -65,7 +82,7 @@ type Backend struct {
 	creditDenies  atomic.Uint64 // probes refused for lack of credit
 	breakerDenies atomic.Uint64 // probes refused by the failure breaker
 	ejections     atomic.Uint64 // slow-backend ejections (CheckSlow)
-	badHeaders    atomic.Uint64 // rejected X-Capserve-Queue-Free values
+	badHeaders    atomic.Uint64 // rejected credit advertisements (headers or feed deltas)
 
 	// slowPrev is CheckSlow's cumulative dispatch-latency snapshot from
 	// the previous interval. Owned by the single CheckSlow caller (the
@@ -245,6 +262,72 @@ func (b *Backend) setCredits(c int) {
 			return
 		}
 	}
+}
+
+// applyDelta folds one push-feed delta into the gauge, guarded by the
+// delta's sequence number: a delta whose seq is not strictly newer than
+// the last applied one is dropped (counted in feedDrops), so reordered
+// or replayed deltas — a stale subscriber goroutine racing its
+// replacement after a reconnect — can never roll the gauge backwards.
+// A draining backend zeroes its credits instead of learning: in-flight
+// dispatches finish, but no new ones start. Returns whether the delta
+// was applied.
+func (b *Backend) applyDelta(seq uint64, free int, draining bool) bool {
+	b.feedMu.Lock()
+	defer b.feedMu.Unlock()
+	if seq <= b.feedSeq.Load() {
+		b.feedDrops.Add(1)
+		return false
+	}
+	b.feedSeq.Store(seq)
+	if draining {
+		b.setCredits(0)
+	} else {
+		b.learn(free)
+	}
+	now := b.now()
+	b.feedNS.Store(now)
+	b.freshNS.Store(now)
+	b.feedDeltas.Add(1)
+	return true
+}
+
+// markFresh records that a live source (a response header or a
+// successful scrape) just taught the gauge — the staleness TTL's other
+// input besides the feed.
+func (b *Backend) markFresh() { b.freshNS.Store(b.now()) }
+
+// feedFresh reports whether the push feed updated this gauge within
+// ttlNS — the Refresh skip condition: a backend the push plane holds
+// does not need its /metrics scraped.
+func (b *Backend) feedFresh(ttlNS int64) bool {
+	last := b.feedNS.Load()
+	return last != 0 && b.now()-last <= ttlNS
+}
+
+// stale reports whether EVERY live source (feed, headers, scrape) has
+// been quiet past ttlNS — the explicit staleness the gauge used to hide.
+func (b *Backend) stale(ttlNS int64) bool {
+	return b.now()-b.freshNS.Load() > ttlNS
+}
+
+// decayStale moves the credit ceiling halfway toward def (snapping when
+// one step away), the gauge's answer to total signal loss: a stale-high
+// gauge would keep over-committing a backend nobody has heard from, a
+// stale-zero gauge would starve one that recovered silently. Converging
+// on the conservative default bounds both errors, and the breaker plus
+// the half-open trial machinery resolve which one it was.
+func (b *Backend) decayStale(def int) {
+	cur := b.Credits()
+	if cur == def {
+		return
+	}
+	next := cur + (def-cur)/2
+	if next == cur {
+		next = def
+	}
+	b.setCredits(next)
+	b.staleDecays.Add(1)
 }
 
 // learn folds one advertised headroom reading (a response header or a

@@ -65,6 +65,11 @@ type BackendStats struct {
 	BreakerDenies uint64 `json:"breaker_denies"`
 	Ejections     uint64 `json:"ejections"`
 	BadHeaders    uint64 `json:"bad_headers"`
+	FeedConnected bool   `json:"feed_connected"` // a push-feed subscription is open now
+	FeedDeltas    uint64 `json:"feed_deltas"`    // push deltas applied to the gauge
+	FeedDrops     uint64 `json:"feed_drops"`     // deltas dropped by the seq regression guard
+	FeedConnects  uint64 `json:"feed_connects"`  // feed subscriptions opened (reconnects after the first)
+	StaleDecays   uint64 `json:"stale_decays"`   // TTL decays toward the default credit ceiling
 }
 
 // Stats snapshots the backend's counters and gauges.
@@ -82,6 +87,11 @@ func (b *Backend) Stats() BackendStats {
 		BreakerDenies: b.breakerDenies.Load(),
 		Ejections:     b.ejections.Load(),
 		BadHeaders:    b.badHeaders.Load(),
+		FeedConnected: b.feedConnected.Load(),
+		FeedDeltas:    b.feedDeltas.Load(),
+		FeedDrops:     b.feedDrops.Load(),
+		FeedConnects:  b.feedConnects.Load(),
+		StaleDecays:   b.staleDecays.Load(),
 	}
 }
 
@@ -142,6 +152,7 @@ func (r *Router) writeMetrics(w io.Writer) {
 	counter("caprouter_local_fallbacks_total", "Requests degraded to the local runtime.", s.LocalFallbacks)
 	counter("caprouter_client_gone_total", "Clients that hung up mid-route.", s.ClientGone)
 	counter("caprouter_refresh_errors_total", "Failed /metrics credit refreshes.", r.refreshErrs.Load())
+	counter("caprouter_refresh_skipped_total", "Credit scrapes skipped because the push feed was fresh.", r.refreshSkipped.Load())
 	gauge("caprouter_remote_grant_rate", "Fraction of remote probes granted (cluster \"% divisions allowed\").", s.RemoteGrantRate())
 	gauge("caprouter_fallback_rate", "Fraction of requests the fleet could not take.", s.FallbackRate())
 
@@ -172,8 +183,21 @@ func (r *Router) writeMetrics(w io.Writer) {
 		func(b *Backend) float64 { return float64(b.sheds.Load()) }, "%.0f")
 	perBackend("caprouter_backend_ejections_total", "Slow-backend ejections (p99 outlier vs fleet median).", "counter",
 		func(b *Backend) float64 { return float64(b.ejections.Load()) }, "%.0f")
-	perBackend("caprouter_backend_bad_headers_total", "Rejected X-Capserve-Queue-Free credit headers.", "counter",
+	perBackend("caprouter_backend_bad_headers_total", "Rejected credit advertisements (headers or feed deltas).", "counter",
 		func(b *Backend) float64 { return float64(b.badHeaders.Load()) }, "%.0f")
+	perBackend("caprouter_backend_feed_connected", "1 while a credit-feed subscription is open.", "gauge",
+		func(b *Backend) float64 {
+			if b.feedConnected.Load() {
+				return 1
+			}
+			return 0
+		}, "%g")
+	perBackend("caprouter_backend_feed_deltas_total", "Push credit deltas applied to the gauge.", "counter",
+		func(b *Backend) float64 { return float64(b.feedDeltas.Load()) }, "%.0f")
+	perBackend("caprouter_backend_feed_reconnects_total", "Credit-feed subscriptions opened.", "counter",
+		func(b *Backend) float64 { return float64(b.feedConnects.Load()) }, "%.0f")
+	perBackend("caprouter_backend_stale_decays_total", "Gauge decays toward the default after every credit source went quiet.", "counter",
+		func(b *Backend) float64 { return float64(b.staleDecays.Load()) }, "%.0f")
 
 	if len(r.backends) > 0 {
 		fmt.Fprintf(w, "# HELP capcluster_dispatch_duration_seconds Remote dispatch duration, relayed responses only (deaths/timeouts excluded).\n")

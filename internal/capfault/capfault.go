@@ -92,6 +92,20 @@ const (
 // MatchAll is the Backend scope that matches every backend.
 const MatchAll = "*"
 
+// Rule scopes: which traffic class consults a rule.
+const (
+	// ScopeRequest rules fire on Transport and Handler traffic — the
+	// dispatch/serving path. The default.
+	ScopeRequest = "request"
+	// ScopeFeed rules fire on FeedTransport traffic — the credit-feed
+	// subscriptions — including, for the terminal kinds, per-read on
+	// streams that were already established when the rule was armed. The
+	// split exists so a chaos script can cut the push plane while every
+	// dispatch stays healthy: the fallback paths under test are only
+	// reachable when the failure is *selective*.
+	ScopeFeed = "feed"
+)
+
 // Rule is one fault: what fires (Kind and its parameters), where
 // (Backend scope), how often (P) and for how long (For).
 type Rule struct {
@@ -101,6 +115,10 @@ type Rule struct {
 	// host:port on a transport, the wrap's name on a handler — or every
 	// backend with MatchAll. Default: MatchAll.
 	Backend string `json:"backend,omitempty"`
+	// Scope selects the traffic class: ScopeRequest (dispatch/serving,
+	// via Transport and Handler) or ScopeFeed (credit-feed
+	// subscriptions, via FeedTransport). Default: ScopeRequest.
+	Scope string `json:"scope,omitempty"`
 	// P is the per-evaluation probability the rule fires, in (0, 1].
 	// Default (0): 1, always.
 	P float64 `json:"p,omitempty"`
@@ -131,6 +149,9 @@ var validKinds = map[Kind]bool{
 func (r Rule) Validate() error {
 	if !validKinds[r.Kind] {
 		return fmt.Errorf("capfault: unknown kind %q", r.Kind)
+	}
+	if r.Scope != "" && r.Scope != ScopeRequest && r.Scope != ScopeFeed {
+		return fmt.Errorf("capfault: unknown scope %q (want %q or %q)", r.Scope, ScopeRequest, ScopeFeed)
 	}
 	if r.P < 0 || r.P > 1 {
 		return fmt.Errorf("capfault: P must be in [0,1], got %g", r.P)
@@ -186,6 +207,9 @@ func (inj *Injector) Set(r Rule) (uint64, error) {
 	}
 	if r.Backend == "" {
 		r.Backend = MatchAll
+	}
+	if r.Scope == "" {
+		r.Scope = ScopeRequest
 	}
 	if r.P == 0 {
 		r.P = 1
@@ -339,17 +363,20 @@ func (ar *armedRule) active(nowNS int64) bool {
 	return ar.untilNS == 0 || nowNS <= ar.untilNS
 }
 
-// matching iterates the installed rules scoped to backend and calls f
-// for each that fires, stopping early when f returns false. Returns
-// false only on the disarmed fast path, so callers can skip their
-// per-request setup entirely.
-func (inj *Injector) matching(backend string, f func(*armedRule, uint64) bool) bool {
+// matching iterates the installed rules matching (scope, backend) and
+// calls f for each that fires, stopping early when f returns false.
+// Returns false only on the disarmed fast path, so callers can skip
+// their per-request setup entirely.
+func (inj *Injector) matching(scope, backend string, f func(*armedRule, uint64) bool) bool {
 	rules := inj.rules.Load()
 	if rules == nil {
 		return false
 	}
 	now := inj.now()
 	for _, ar := range *rules {
+		if ar.Scope != scope {
+			continue
+		}
 		if ar.Backend != MatchAll && ar.Backend != backend {
 			continue
 		}

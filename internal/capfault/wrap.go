@@ -1,6 +1,7 @@
 package capfault
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -9,23 +10,55 @@ import (
 	"time"
 )
 
-// Transport wraps next so requests consult the injector's rules before
-// (and around) the real round trip. The backend scope a rule matches is
-// the request URL's Host (host:port) — the same identity capcluster
-// names its backends by. Disarmed cost: one atomic pointer load.
+// Transport wraps next so requests consult the injector's
+// request-scoped rules before (and around) the real round trip. The
+// backend scope a rule matches is the request URL's Host (host:port) —
+// the same identity capcluster names its backends by. Disarmed cost:
+// one atomic pointer load.
 func (inj *Injector) Transport(next http.RoundTripper) http.RoundTripper {
 	if next == nil {
 		next = http.DefaultTransport
 	}
-	return &transport{inj: inj, next: next}
+	return &transport{inj: inj, next: next, scope: ScopeRequest}
+}
+
+// FeedTransport wraps next for the credit-feed subscription client:
+// only ScopeFeed rules are consulted, so the push plane can be
+// blackholed, partitioned or reset without a single dispatch noticing.
+// Unlike the request-scoped wrap, terminal rules armed *after* a stream
+// is established still land — the response body re-checks the live rule
+// set on every read (see feedBody) — because a subscription dials once
+// and then lives for minutes: connect-time-only faults would miss
+// exactly the streams a chaos script wants to cut.
+func (inj *Injector) FeedTransport(next http.RoundTripper) http.RoundTripper {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	return &transport{inj: inj, next: next, scope: ScopeFeed}
 }
 
 type transport struct {
-	inj  *Injector
-	next http.RoundTripper
+	inj   *Injector
+	next  http.RoundTripper
+	scope string
 }
 
 func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	resp, err := t.roundTrip(req)
+	if t.scope == ScopeFeed && err == nil {
+		// Interpose on the stream even while disarmed: the wrap decision
+		// happens at dial time, the chaos script arms rules mid-stream.
+		resp.Body = &feedBody{
+			ReadCloser: resp.Body,
+			inj:        t.inj,
+			ctx:        req.Context(),
+			backend:    req.URL.Host,
+		}
+	}
+	return resp, err
+}
+
+func (t *transport) roundTrip(req *http.Request) (*http.Response, error) {
 	if t.inj.rules.Load() == nil {
 		// Disarmed fast path: one pointer load, no closure, no allocs.
 		return t.next.RoundTrip(req)
@@ -33,7 +66,7 @@ func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
 	var trickle *armedRule
 	var termErr error
 	var synth *http.Response
-	armed := t.inj.matching(req.URL.Host, func(ar *armedRule, h uint64) bool {
+	armed := t.inj.matching(t.scope, req.URL.Host, func(ar *armedRule, h uint64) bool {
 		switch ar.Kind {
 		case KindLatency:
 			if err := sleepCtx(req.Context(), ar.jitterFrom(h)); err != nil {
@@ -104,7 +137,7 @@ func (inj *Injector) Handler(name string, next http.Handler) http.Handler {
 		}
 		var trickle *armedRule
 		done := false
-		armed := inj.matching(name, func(ar *armedRule, h uint64) bool {
+		armed := inj.matching(ScopeRequest, name, func(ar *armedRule, h uint64) bool {
 			switch ar.Kind {
 			case KindLatency:
 				if err := sleepCtx(r.Context(), ar.jitterFrom(h)); err != nil {
@@ -140,6 +173,46 @@ func (inj *Injector) Handler(name string, next http.Handler) http.Handler {
 		}
 		next.ServeHTTP(w, r)
 	})
+}
+
+// feedBody interposes the live rule set between a credit-feed stream
+// and its reader: every Read first consults the armed ScopeFeed rules,
+// so a blackhole/partition/reset installed mid-stream cuts the
+// established subscription at its next event instead of waiting for the
+// next dial. These are existence checks, not probability rolls — a
+// per-read roll would burn one decision index per heartbeat and make
+// "cut this stream" a coin flip per event, when a mid-stream cut is
+// scripted, deterministic chaos. Connect-time faults (including
+// probabilistic ones) already ran in roundTrip.
+type feedBody struct {
+	io.ReadCloser
+	inj     *Injector
+	ctx     context.Context
+	backend string
+}
+
+func (f *feedBody) Read(p []byte) (int, error) {
+	if rules := f.inj.rules.Load(); rules != nil {
+		now := f.inj.now()
+		for _, ar := range *rules {
+			if ar.Scope != ScopeFeed || !ar.active(now) {
+				continue
+			}
+			if ar.Backend != MatchAll && ar.Backend != f.backend {
+				continue
+			}
+			switch ar.Kind {
+			case KindBlackhole, KindPartition:
+				// The stream goes silent: park until the subscriber's
+				// watchdog cancels the request context.
+				<-f.ctx.Done()
+				return 0, &faultErr{kind: ar.Kind, err: f.ctx.Err()}
+			case KindReset:
+				return 0, &faultErr{kind: ar.Kind, err: syscall.ECONNRESET}
+			}
+		}
+	}
+	return f.ReadCloser.Read(p)
 }
 
 // trickleWriter dribbles the response body chunk bytes per delay,

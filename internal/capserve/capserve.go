@@ -111,6 +111,12 @@ type Config struct {
 	// can tell router and backend events apart after merging. Default:
 	// "capserve".
 	TraceSource string
+
+	// FeedHeartbeat is the idle republish interval of the /debug/credits
+	// push feed: subscribed routers see a delta at least this often even
+	// with no traffic, which is what keeps their staleness TTLs satisfied
+	// on a quiet fleet. Default: DefaultFeedHeartbeat.
+	FeedHeartbeat time.Duration
 }
 
 // Validate reports whether cfg can build a Server.
@@ -123,6 +129,9 @@ func (cfg Config) Validate() error {
 	}
 	if cfg.TraceSample < 0 {
 		return fmt.Errorf("capserve: TraceSample must be >= 0 (0 means %d), got %d", DefaultTraceSample, cfg.TraceSample)
+	}
+	if cfg.FeedHeartbeat < 0 {
+		return fmt.Errorf("capserve: FeedHeartbeat must be >= 0 (0 means default), got %v", cfg.FeedHeartbeat)
 	}
 	known := map[string]bool{}
 	for _, wl := range workloads.NativeNames() {
@@ -157,6 +166,11 @@ type Server struct {
 	sampler     *captrace.Sampler
 	traceSource string
 
+	// feed is the /debug/credits push plane (feed.go); feedHeartbeat is
+	// its idle republish interval.
+	feed          creditFeed
+	feedHeartbeat time.Duration
+
 	shed     atomic.Uint64
 	notFound atomic.Uint64
 
@@ -187,6 +201,10 @@ func New(cfg Config) (*Server, error) {
 	if source == "" {
 		source = "capserve"
 	}
+	heartbeat := cfg.FeedHeartbeat
+	if heartbeat == 0 {
+		heartbeat = DefaultFeedHeartbeat
+	}
 	s := &Server{
 		rt:          cfg.Runtime,
 		queue:       make(chan struct{}, depth),
@@ -195,9 +213,10 @@ func New(cfg Config) (*Server, error) {
 		eps:         map[string]*endpoint{},
 		mux:         http.NewServeMux(),
 		start:       time.Now(),
-		tracer:      tracer,
-		sampler:     captrace.NewSampler(sample),
-		traceSource: source,
+		tracer:        tracer,
+		sampler:       captrace.NewSampler(sample),
+		traceSource:   source,
+		feedHeartbeat: heartbeat,
 	}
 	for _, wl := range s.workloads {
 		s.eps[wl] = &endpoint{}
@@ -213,6 +232,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /debug/credits", s.handleCredits)
 	s.mux.HandleFunc("GET /run/{workload}", s.handleRun)
 	s.mux.HandleFunc("POST /run/{workload}", s.handleRun)
 	s.mux.HandleFunc("GET /{$}", s.handleIndex)
@@ -231,8 +251,14 @@ func (s *Server) QueueDepth() int { return cap(s.queue) }
 
 // SetDraining flips the health endpoint: while draining, /healthz
 // returns 503 so load balancers stop routing here before Shutdown cuts
-// the listener.
-func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+// the listener. Push-fed routers learn immediately: the transition is
+// published on the /debug/credits feed (with Draining=true as the
+// stream's final delta), so they stop dispatching here without waiting
+// for a health poll.
+func (s *Server) SetDraining(v bool) {
+	s.draining.Store(v)
+	s.feed.publish()
+}
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
@@ -303,11 +329,16 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Bounded accept queue: full means shed now, not queue forever.
+	// Each admission-queue transition is a credit event: the release
+	// publishes on the push feed (one atomic load when nobody is
+	// subscribed), so routers track headroom without a response in
+	// flight to carry the header.
 	select {
 	case s.queue <- struct{}{}:
-		defer func() { <-s.queue }()
+		defer func() { <-s.queue; s.feed.publish() }()
 	default:
 		s.shed.Add(1)
+		s.feed.publish()
 		ep.inc(http.StatusServiceUnavailable)
 		s.trace(traced, captrace.KReqShed, tid, 0, 0)
 		// Re-stamp: the admission-time stamp can predate the queue
